@@ -1,0 +1,132 @@
+// ABL-LB — load-balancing policy ablation (paper §2 lists LB among core
+// sidecar functions; §3.6 notes "the right algorithms for these modules
+// may be non-obvious").
+//
+// A three-replica service where one replica is 10x slower serves an open-
+// loop stream under each LB policy. Expected shape: least-request routes
+// around the slow replica and wins the tail; round-robin and random keep
+// feeding it and pay at p99; weighted-round-robin wins only if the
+// operator already knew the weights.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "app/microservice.h"
+#include "mesh/control_plane.h"
+#include "stats/table.h"
+#include "util/flags.h"
+#include "workload/generator.h"
+
+using namespace meshnet;
+
+namespace {
+
+struct RunResult {
+  double p50_ms, p99_ms, mean_ms;
+  std::uint64_t completed, errors;
+  std::map<std::string, std::uint64_t> per_replica;
+};
+
+RunResult run_once(mesh::LbPolicy policy, double rps, sim::Duration duration,
+                   std::uint64_t seed) {
+  http::reset_request_id_counter();
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_node("node-a");
+  cluster::Pod& client_pod = cluster.add_pod("node-a", "client", "client", 0);
+
+  std::vector<cluster::Pod*> replicas;
+  for (int i = 1; i <= 3; ++i) {
+    cluster::PodOptions options;
+    options.labels = {{"weight", i == 3 ? "1" : "10"}};  // for WRR
+    replicas.push_back(&cluster.add_pod(
+        "node-a", "server-v" + std::to_string(i), "server", 8080, options));
+  }
+
+  mesh::MeshPolicies policies;
+  policies.default_lb = policy;
+  mesh::ControlPlane control_plane(sim, cluster, policies);
+  control_plane.tracer().set_retention(0);
+  control_plane.inject_sidecar(client_pod, {});
+  for (cluster::Pod* pod : replicas) control_plane.inject_sidecar(*pod, {});
+  control_plane.start();
+
+  std::vector<std::unique_ptr<app::Microservice>> apps;
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    const bool slow = i == 2;  // server-v3 is the straggler
+    apps.push_back(std::make_unique<app::Microservice>(
+        sim, *replicas[i], [slow](const http::HttpRequest&) {
+          app::HandlerResult plan;
+          plan.processing_delay =
+              slow ? sim::milliseconds(20) : sim::milliseconds(2);
+          plan.response_bytes = 2048;
+          return plan;
+        }));
+  }
+
+  mesh::HttpClientPool::Options options;
+  options.max_connections = 512;
+  mesh::HttpClientPool client(sim, client_pod.transport(),
+                              net::SocketAddress{client_pod.ip(), 15001},
+                              options);
+
+  workload::WorkloadSpec spec;
+  spec.name = "lb";
+  spec.rps = rps;
+  spec.arrival = workload::ArrivalProcess::kPoisson;
+  spec.make_request = workload::simple_get_factory("server", "/item");
+  spec.start = 0;
+  spec.end = sim::seconds(1) + duration;
+  spec.measure_start = sim::seconds(1);
+  spec.measure_end = spec.end;
+
+  workload::OpenLoopGenerator gen(sim, client, spec, seed);
+  gen.start();
+  sim.run_until(spec.end + sim::seconds(10));
+
+  RunResult result{gen.recorder().p50_ms(), gen.recorder().p99_ms(),
+                   gen.recorder().mean_ms(), gen.recorder().count(),
+                   gen.recorder().errors(), {}};
+  for (cluster::Pod* pod : replicas) {
+    // The app's own served-request counter is the ground truth.
+    result.per_replica[pod->name()] = 0;
+  }
+  for (std::size_t i = 0; i < replicas.size(); ++i) {
+    result.per_replica[replicas[i]->name()] = apps[i]->requests_served();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const double rps = flags.get_double_or("rps", 300.0);
+  const auto duration = sim::seconds(flags.get_int_or("duration", 20));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 7));
+
+  std::printf(
+      "ABL-LB: sidecar load-balancing policies, 3 replicas, one 10x "
+      "slower, %.0f RPS.\n\n", rps);
+
+  stats::Table table({"policy", "mean (ms)", "p50 (ms)", "p99 (ms)",
+                      "v1", "v2", "v3(slow)", "errors"});
+  for (const mesh::LbPolicy policy :
+       {mesh::LbPolicy::kRoundRobin, mesh::LbPolicy::kRandom,
+        mesh::LbPolicy::kLeastRequest, mesh::LbPolicy::kWeightedRoundRobin}) {
+    const RunResult r = run_once(policy, rps, duration, seed);
+    table.add_row({std::string(mesh::lb_policy_name(policy)),
+                   stats::Table::num(r.mean_ms, 2),
+                   stats::Table::num(r.p50_ms, 2),
+                   stats::Table::num(r.p99_ms, 2),
+                   std::to_string(r.per_replica.at("server-v1")),
+                   std::to_string(r.per_replica.at("server-v2")),
+                   std::to_string(r.per_replica.at("server-v3")),
+                   std::to_string(r.errors)});
+    std::fprintf(stderr, "  [%s] done\n",
+                 std::string(mesh::lb_policy_name(policy)).c_str());
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,64 @@
+// TXT-LI — reproduces the paper's §4.3 text claim: "This improvement
+// comes at the cost of degrading the performance of the latency-
+// insensitive workloads (less than 5% increase in the p99 response
+// latency)."
+//
+// Same experiment as FIG4, but the reported series is the latency-
+// INSENSITIVE workload's p99 with and without the optimization, plus the
+// relative degradation.
+
+#include <cstdio>
+#include <vector>
+
+#include "stats/table.h"
+#include "util/flags.h"
+#include "workload/elibrary_experiment.h"
+
+using namespace meshnet;
+
+int main(int argc, char** argv) {
+  const util::Flags flags = util::Flags::parse(argc, argv);
+  const auto duration = sim::seconds(flags.get_int_or("duration", 15));
+  const auto warmup = sim::seconds(flags.get_int_or("warmup", 4));
+  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 42));
+
+  std::printf(
+      "TXT-LI: latency-insensitive workload p99 with vs without cross-layer "
+      "optimization\n(paper: < 5%% increase in p99).\n\n");
+
+  stats::Table table({"RPS", "LI p99 w/o (ms)", "LI p99 w/ (ms)",
+                      "delta", "LI p50 w/o (ms)", "LI p50 w/ (ms)",
+                      "LS p99 gain"});
+
+  double worst_delta = 0.0;
+  for (const double rps : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+    workload::ElibraryExperimentResult base, opt;
+    for (const bool cross_layer : {false, true}) {
+      workload::ElibraryExperimentConfig config;
+      config.ls_rps = rps;
+      config.li_rps = rps;
+      config.duration = duration;
+      config.warmup = warmup;
+      config.seed = seed;
+      config.cross_layer = cross_layer;
+      (cross_layer ? opt : base) = workload::run_elibrary_experiment(config);
+    }
+    const double delta =
+        base.li.p99_ms > 0 ? (opt.li.p99_ms - base.li.p99_ms) / base.li.p99_ms
+                           : 0.0;
+    worst_delta = std::max(worst_delta, delta);
+    table.add_row({stats::Table::num(rps, 0),
+                   stats::Table::num(base.li.p99_ms, 1),
+                   stats::Table::num(opt.li.p99_ms, 1),
+                   stats::Table::num(delta * 100.0, 1) + "%",
+                   stats::Table::num(base.li.p50_ms, 1),
+                   stats::Table::num(opt.li.p50_ms, 1),
+                   stats::Table::num(base.ls.p99_ms / opt.ls.p99_ms, 2) + "x"});
+    std::fprintf(stderr, "  [rps=%g] done\n", rps);
+  }
+
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("worst LI p99 degradation across loads: %.1f%% (paper: < 5%%)\n",
+              worst_delta * 100.0);
+  return 0;
+}

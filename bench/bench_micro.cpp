@@ -1,0 +1,116 @@
+// Component microbenchmarks (google-benchmark): the per-operation costs
+// that bound how much simulated traffic the harness can push — event
+// scheduling, qdisc enqueue/dequeue, HTTP codec, histogram recording.
+// These back DESIGN.md's methodology note that full Fig. 4 sweeps are
+// tractable on a laptop.
+
+#include <benchmark/benchmark.h>
+
+#include "http/codec.h"
+#include "net/qdisc.h"
+#include "sim/simulator.h"
+#include "stats/histogram.h"
+
+using namespace meshnet;
+
+static void BM_SimulatorScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.schedule_after(i, [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorScheduleRun);
+
+static void BM_HistogramRecord(benchmark::State& state) {
+  stats::LogHistogram histogram(7);
+  std::uint64_t v = 12345;
+  for (auto _ : state) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    histogram.record(v >> 32);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void BM_HistogramPercentile(benchmark::State& state) {
+  stats::LogHistogram histogram(7);
+  std::uint64_t v = 12345;
+  for (int i = 0; i < 100000; ++i) {
+    v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+    histogram.record(v >> 40);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(histogram.percentile(99.0));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+static void BM_FifoQdisc(benchmark::State& state) {
+  net::FifoQdisc qdisc(1 << 30);
+  net::Packet packet;
+  packet.payload = std::make_shared<const std::string>(1400, 'x');
+  for (auto _ : state) {
+    qdisc.enqueue(packet, 0);
+    benchmark::DoNotOptimize(qdisc.dequeue(0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoQdisc);
+
+static void BM_WeightedPrioQdisc(benchmark::State& state) {
+  net::WeightedPrioQdisc qdisc({0.95, 0.05}, net::classify_by_dscp(),
+                               1 << 30);
+  net::Packet high;
+  high.dscp = net::Dscp::kExpedited;
+  high.payload = std::make_shared<const std::string>(1400, 'x');
+  net::Packet low;
+  low.dscp = net::Dscp::kScavenger;
+  low.payload = high.payload;
+  for (auto _ : state) {
+    qdisc.enqueue(high, 0);
+    qdisc.enqueue(low, 0);
+    benchmark::DoNotOptimize(qdisc.dequeue(0));
+    benchmark::DoNotOptimize(qdisc.dequeue(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_WeightedPrioQdisc);
+
+static void BM_HttpSerializeRequest(benchmark::State& state) {
+  http::HttpRequest request;
+  request.method = "GET";
+  request.path = "/product/42";
+  request.headers.set(http::headers::kHost, "frontend");
+  request.headers.set(http::headers::kRequestId, "req-1-abcdef");
+  request.headers.set(http::headers::kMeshPriority, "high");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::serialize_request(request));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HttpSerializeRequest);
+
+static void BM_HttpParseResponse(benchmark::State& state) {
+  http::HttpResponse response;
+  response.status = 200;
+  response.headers.set("x-app", "ratings");
+  response.body.assign(static_cast<std::size_t>(state.range(0)), 'x');
+  const std::string wire = http::serialize_response(response);
+  http::HttpParser parser(http::ParserKind::kResponse);
+  std::uint64_t parsed = 0;
+  parser.set_on_response([&](http::HttpResponse) { ++parsed; });
+  for (auto _ : state) {
+    parser.feed(wire);
+  }
+  benchmark::DoNotOptimize(parsed);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(wire.size()));
+}
+BENCHMARK(BM_HttpParseResponse)->Arg(1024)->Arg(64 * 1024);
+
+BENCHMARK_MAIN();

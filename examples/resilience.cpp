@@ -1,0 +1,94 @@
+// Mesh resilience features (paper §2: "retrying requests and implementing
+// a 'circuit breaker' pattern to avoid underperforming instances").
+//
+// A two-replica service where one replica starts failing mid-run. Shows:
+//   phase 1  both replicas healthy - round robin spreads traffic;
+//   phase 2  replica v2 starts returning 500s - retries mask the
+//            failures, then the circuit breaker ejects v2 entirely;
+//   phase 3  v2 recovers - the half-open probe re-admits it.
+//
+//   ./resilience
+
+#include <cstdio>
+#include <optional>
+
+#include "app/microservice.h"
+#include "mesh/control_plane.h"
+#include "mesh/http_client.h"
+#include "util/flags.h"
+
+using namespace meshnet;
+
+int main(int, char**) {
+  sim::Simulator sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_node("node-a");
+  cluster::Pod& client_pod = cluster.add_pod("node-a", "client", "client", 0);
+  cluster::Pod& v1 = cluster.add_pod("node-a", "server-v1", "server", 8080);
+  cluster::Pod& v2 = cluster.add_pod("node-a", "server-v2", "server", 8080);
+
+  mesh::MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  policies.breaker.consecutive_failures = 3;
+  policies.breaker.open_duration = sim::seconds(2);
+  mesh::ControlPlane control_plane(sim, cluster, policies);
+  control_plane.tracer().set_retention(0);
+  mesh::Sidecar& client_sidecar = control_plane.inject_sidecar(client_pod, {});
+  control_plane.inject_sidecar(v1, {});
+  control_plane.inject_sidecar(v2, {});
+  control_plane.start();
+
+  bool v2_failing = false;
+  app::Microservice app_v1(sim, v1, [](const http::HttpRequest&) {
+    app::HandlerResult plan;
+    plan.response_bytes = 32;
+    return plan;
+  });
+  app::Microservice app_v2(sim, v2, [&](const http::HttpRequest&) {
+    app::HandlerResult plan;
+    plan.response_bytes = 32;
+    if (v2_failing) plan.status = 500;
+    return plan;
+  });
+
+  mesh::HttpClientPool client(sim, client_pod.transport(),
+                              net::SocketAddress{client_pod.ip(), 15001}, {});
+
+  auto run_phase = [&](const char* label, int count) {
+    int ok = 0, failed = 0;
+    for (int i = 0; i < count; ++i) {
+      http::HttpRequest request;
+      request.path = "/work";
+      request.headers.set(http::headers::kHost, "server");
+      client.request(std::move(request),
+                     [&](std::optional<http::HttpResponse> response,
+                         const std::string&) {
+                       if (response && response->ok()) {
+                         ++ok;
+                       } else {
+                         ++failed;
+                       }
+                     });
+      sim.run_until(sim.now() + sim::milliseconds(100));
+    }
+    const auto& breaker = client_sidecar.breaker_for("server", "server-v2");
+    std::printf(
+        "%-28s ok=%3d failed=%2d  v1 served=%3llu v2 served=%3llu  "
+        "retries=%llu  breaker(v2)=%s\n",
+        label, ok, failed,
+        static_cast<unsigned long long>(app_v1.requests_served()),
+        static_cast<unsigned long long>(app_v2.requests_served()),
+        static_cast<unsigned long long>(
+            client_sidecar.stats().upstream_retries),
+        std::string(mesh::circuit_state_name(breaker.state())).c_str());
+  };
+
+  run_phase("phase 1: both healthy", 20);
+  v2_failing = true;
+  run_phase("phase 2: v2 returns 500s", 20);
+  run_phase("phase 2b: breaker open", 20);
+  v2_failing = false;
+  sim.run_until(sim.now() + sim::seconds(3));  // past the open duration
+  run_phase("phase 3: v2 recovered", 20);
+  return 0;
+}

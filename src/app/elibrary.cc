@@ -1,0 +1,184 @@
+#include "app/elibrary.h"
+
+#include <utility>
+
+#include "util/strings.h"
+
+namespace meshnet::app {
+
+mesh::MeshPolicies ElibraryOptions::default_policies() {
+  mesh::MeshPolicies policies;
+  policies.retry.max_retries = 1;
+  policies.retry.per_try_timeout = 0;
+  policies.request_timeout = sim::seconds(60);
+  // Jumbo-frame MSS: KIND veth pairs on one host commonly run large MTUs;
+  // this also keeps the event count tractable (DESIGN.md §6).
+  policies.transport_mss = 8960;
+  return policies;
+}
+
+Elibrary::Elibrary(sim::Simulator& sim, ElibraryOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  build_topology();
+  build_services();
+}
+
+void Elibrary::build_topology() {
+  cluster::ClusterConfig cluster_config;
+  cluster_config.default_link_bps = options_.link_bps;
+  cluster_config.default_link_delay = options_.link_delay;
+  cluster_ = std::make_unique<cluster::Cluster>(sim_, cluster_config);
+
+  // One worker node, as in the paper's single-server KIND deployment.
+  cluster_->add_node("kind-worker");
+
+  gateway_ = &cluster_->add_pod("kind-worker", "istio-ingressgateway",
+                                "gateway", 0);
+  cluster_->add_pod("kind-worker", "frontend-v1", "frontend", 9080);
+  cluster_->add_pod("kind-worker", "details-v1", "details", 9080);
+  {
+    cluster::PodOptions high;
+    high.labels = {{"priority", "high"}, {"version", "v1"}};
+    cluster_->add_pod("kind-worker", "reviews-v1", "reviews", 9080, high);
+    cluster::PodOptions low;
+    low.labels = {{"priority", "low"}, {"version", "v2"}};
+    cluster_->add_pod("kind-worker", "reviews-v2", "reviews", 9080, low);
+  }
+  {
+    cluster::PodOptions ratings;
+    ratings.link_bps = options_.bottleneck_bps;  // the 1 Gbps bottleneck
+    cluster_->add_pod("kind-worker", "ratings-v1", "ratings", 9080, ratings);
+  }
+  // The external client: a host outside the mesh with a fat pipe in.
+  client_ = &cluster_->add_pod("kind-worker", "external-client", "", 0,
+                               cluster::PodOptions{40e9, sim::microseconds(50),
+                                                   {}});
+
+  control_plane_ =
+      std::make_unique<mesh::ControlPlane>(sim_, *cluster_, options_.policies);
+}
+
+void Elibrary::build_services() {
+  const std::size_t base = options_.component_bytes;
+  const std::size_t bulk = base * options_.analytics_multiplier;
+  const sim::Duration think = options_.service_time;
+
+  MicroserviceOptions base_options;
+  base_options.max_concurrency = options_.app_max_concurrency;
+  base_options.priority_scheduling = options_.app_priority_scheduling;
+
+  auto inject = [&](const std::string& pod_name) -> cluster::Pod& {
+    cluster::Pod* pod = cluster_->find_pod(pod_name);
+    mesh::SidecarInjectionOptions options;
+    options.app_port = 8080;
+    control_plane_->inject_sidecar(*pod, options);
+    return *pod;
+  };
+
+  // Gateway sidecar: no app, outbound listener exposed on port 80.
+  {
+    mesh::SidecarInjectionOptions gw;
+    gw.gateway_mode = true;
+    gw.outbound_port = kGatewayPort;
+    control_plane_->inject_sidecar(*gateway_, gw);
+  }
+
+  // frontend: fans out to details and reviews, regardless of workload;
+  // the path decides which flavour the downstream serves.
+  {
+    cluster::Pod& pod = inject("frontend-v1");
+    MicroserviceOptions options = base_options;
+    options.propagate_priority_header = options_.frontend_propagates_priority;
+    services_.push_back(std::make_unique<Microservice>(
+        sim_, pod,
+        [base, think](const http::HttpRequest& request) {
+          HandlerResult plan;
+          plan.processing_delay = think;
+          plan.response_bytes = base / 4;
+          const bool analytics =
+              util::starts_with(request.path, Elibrary::kLiPathPrefix);
+          const std::string item =
+              std::string(request.path.substr(request.path.find_last_of('/') +
+                                              1));
+          plan.calls.push_back(SubCall{"details", "/details/" + item});
+          plan.calls.push_back(SubCall{
+              "reviews", (analytics ? "/reviews/analytics/" : "/reviews/") +
+                             item});
+          return plan;
+        },
+        options));
+  }
+
+  // details: a leaf; always small.
+  {
+    cluster::Pod& pod = inject("details-v1");
+    services_.push_back(std::make_unique<Microservice>(
+        sim_, pod, [base, think](const http::HttpRequest&) {
+          HandlerResult plan;
+          plan.processing_delay = think;
+          plan.response_bytes = base;
+          return plan;
+        },
+        base_options));
+  }
+
+  // reviews (two replicas, same code): calls ratings; analytics paths ask
+  // ratings for the bulk payload.
+  for (const std::string pod_name : {"reviews-v1", "reviews-v2"}) {
+    cluster::Pod& pod = inject(pod_name);
+    services_.push_back(std::make_unique<Microservice>(
+        sim_, pod, [base, think](const http::HttpRequest& request) {
+          HandlerResult plan;
+          plan.processing_delay = think;
+          plan.response_bytes = base / 2;
+          const bool analytics =
+              util::starts_with(request.path, "/reviews/analytics/");
+          const std::string item =
+              std::string(request.path.substr(request.path.find_last_of('/') +
+                                              1));
+          plan.calls.push_back(SubCall{
+              "ratings", (analytics ? "/ratings/bulk/" : "/ratings/") + item});
+          return plan;
+        },
+        base_options));
+  }
+
+  // ratings: the leaf behind the bottleneck; bulk requests return the
+  // ~200x analytics payload.
+  {
+    cluster::Pod& pod = inject("ratings-v1");
+    services_.push_back(std::make_unique<Microservice>(
+        sim_, pod, [base, bulk, think](const http::HttpRequest& request) {
+          HandlerResult plan;
+          plan.processing_delay = think;
+          plan.response_bytes =
+              util::starts_with(request.path, "/ratings/bulk/") ? bulk : base;
+          return plan;
+        },
+        base_options));
+  }
+
+  control_plane_->start();
+}
+
+net::SocketAddress Elibrary::gateway_address() const {
+  return net::SocketAddress{gateway_->ip(), kGatewayPort};
+}
+
+net::Link& Elibrary::bottleneck_link() {
+  return cluster_->find_pod("ratings-v1")->egress_link();
+}
+
+std::size_t Elibrary::expected_ls_body_bytes() const {
+  const std::size_t base = options_.component_bytes;
+  // frontend base/4 + details base + reviews (base/2 + ratings base)
+  return base / 4 + base + base / 2 + base;
+}
+
+std::size_t Elibrary::expected_li_body_bytes() const {
+  const std::size_t base = options_.component_bytes;
+  return base / 4 + base + base / 2 +
+         base * options_.analytics_multiplier;
+}
+
+}  // namespace meshnet::app

@@ -1,0 +1,99 @@
+#pragma once
+
+// The e-library microservice application of the paper's prototype (§4.3,
+// Fig. 3) — Istio's bookinfo sample recast as an e-library:
+//
+//   external -> [istio ingress gateway] -> front end -> { details,
+//                reviews-1 / reviews-2 } ; reviews -> ratings
+//
+// All pods run on one node (the paper's single 32-core server under
+// KIND). Inter-pod vNICs are 15 Gbps except the ratings pod's, which is
+// the 1 Gbps bottleneck between reviews and ratings. Reviews has two
+// replicas labelled priority=high / priority=low so priority-subset
+// routing has somewhere to route.
+//
+// Two request families flow through the same tree:
+//   GET /product/<n>    latency-sensitive page load: small responses.
+//   GET /analytics/<n>  latency-insensitive batch scan: the ratings
+//                       component returns a response ~multiplier x larger
+//                       (paper: ~200x), and bodies aggregate up the tree,
+//                       so the big bytes cross the bottleneck.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/microservice.h"
+#include "cluster/cluster.h"
+#include "mesh/control_plane.h"
+
+namespace meshnet::app {
+
+struct ElibraryOptions {
+  double link_bps = 15e9;         ///< paper: 15 Gbps emulated links
+  double bottleneck_bps = 1e9;    ///< paper: 1 Gbps reviews<->ratings
+  sim::Duration link_delay = sim::microseconds(20);
+
+  std::size_t component_bytes = 8 * 1024;   ///< LS per-component payload
+  std::size_t analytics_multiplier = 200;   ///< paper: ~200x larger
+  sim::Duration service_time = sim::milliseconds(2);  ///< app think time/hop
+
+  /// Paper §4.3 step 1: the front-end app itself attaches the priority
+  /// bits onto the sub-requests it spawns; deeper services rely on the
+  /// mesh's provenance propagation.
+  bool frontend_propagates_priority = true;
+
+  /// Compute model for every microservice instance: worker count (0 =
+  /// unlimited) and whether the admission queue is priority-ordered
+  /// (paper §5 "prioritized request queuing").
+  int app_max_concurrency = 0;
+  bool app_priority_scheduling = false;
+
+  mesh::MeshPolicies policies = default_policies();
+
+  static mesh::MeshPolicies default_policies();
+};
+
+class Elibrary {
+ public:
+  static constexpr std::string_view kLsPathPrefix = "/product";
+  static constexpr std::string_view kLiPathPrefix = "/analytics";
+  static constexpr net::Port kGatewayPort = 80;
+
+  Elibrary(sim::Simulator& sim, ElibraryOptions options = {});
+  Elibrary(const Elibrary&) = delete;
+  Elibrary& operator=(const Elibrary&) = delete;
+
+  cluster::Cluster& cluster() noexcept { return *cluster_; }
+  mesh::ControlPlane& control_plane() noexcept { return *control_plane_; }
+  const ElibraryOptions& options() const noexcept { return options_; }
+
+  /// Where external clients (the load generator) connect.
+  net::SocketAddress gateway_address() const;
+
+  /// The external client pod (outside the mesh, like wrk2 on the host).
+  cluster::Pod& client_pod() noexcept { return *client_; }
+
+  /// The contended link: the ratings pod's egress vNIC.
+  net::Link& bottleneck_link();
+
+  cluster::Pod* pod(const std::string& name) { return cluster_->find_pod(name); }
+
+  /// Expected LS / LI end-to-end response body sizes (for tests).
+  std::size_t expected_ls_body_bytes() const;
+  std::size_t expected_li_body_bytes() const;
+
+ private:
+  void build_topology();
+  void build_services();
+
+  sim::Simulator& sim_;
+  ElibraryOptions options_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<mesh::ControlPlane> control_plane_;
+  std::vector<std::unique_ptr<Microservice>> services_;
+  cluster::Pod* client_ = nullptr;
+  cluster::Pod* gateway_ = nullptr;
+};
+
+}  // namespace meshnet::app

@@ -1,0 +1,51 @@
+#include "core/classifier.h"
+
+#include "util/strings.h"
+
+namespace meshnet::core {
+
+bool ClassificationRule::matches(const http::HttpRequest& request) const {
+  if (!path_prefix.empty() && !util::starts_with(request.path, path_prefix)) {
+    return false;
+  }
+  if (!host.empty() &&
+      request.headers.get_or(http::headers::kHost, "") != host) {
+    return false;
+  }
+  if (!header_name.empty()) {
+    const auto value = request.headers.get(header_name);
+    if (!value) return false;
+    if (!header_value.empty() && *value != header_value) return false;
+  }
+  return true;
+}
+
+IngressClassifierFilter::IngressClassifierFilter(ClassifierConfig config)
+    : config_(std::move(config)) {}
+
+mesh::FilterStatus IngressClassifierFilter::on_request(
+    mesh::RequestContext& ctx) {
+  std::optional<mesh::TrafficClass> assigned;
+  if (config_.respect_existing_header) {
+    assigned = request_priority(ctx.request);
+  }
+  if (!assigned) {
+    for (const ClassificationRule& rule : config_.rules) {
+      if (rule.matches(ctx.request)) {
+        assigned = rule.assign;
+        break;
+      }
+    }
+  }
+  if (!assigned) assigned = config_.default_class;
+  ctx.traffic_class = *assigned;
+  set_request_priority(ctx.request, *assigned);
+  if (*assigned == mesh::TrafficClass::kLatencySensitive) {
+    ++high_;
+  } else if (*assigned == mesh::TrafficClass::kScavenger) {
+    ++low_;
+  }
+  return mesh::FilterStatus::kContinue;
+}
+
+}  // namespace meshnet::core

@@ -1,0 +1,39 @@
+#include "core/priority.h"
+
+namespace meshnet::core {
+
+std::optional<mesh::TrafficClass> parse_priority(std::string_view value) {
+  if (value == kPriorityHigh) return mesh::TrafficClass::kLatencySensitive;
+  if (value == kPriorityLow) return mesh::TrafficClass::kScavenger;
+  return std::nullopt;
+}
+
+std::string_view priority_header_value(mesh::TrafficClass c) noexcept {
+  switch (c) {
+    case mesh::TrafficClass::kLatencySensitive:
+      return kPriorityHigh;
+    case mesh::TrafficClass::kScavenger:
+      return kPriorityLow;
+    case mesh::TrafficClass::kDefault:
+      break;
+  }
+  return "";
+}
+
+std::optional<mesh::TrafficClass> request_priority(
+    const http::HttpRequest& request) {
+  const auto value = request.headers.get(http::headers::kMeshPriority);
+  if (!value) return std::nullopt;
+  return parse_priority(*value);
+}
+
+void set_request_priority(http::HttpRequest& request, mesh::TrafficClass c) {
+  const std::string_view value = priority_header_value(c);
+  if (value.empty()) {
+    request.headers.remove(http::headers::kMeshPriority);
+  } else {
+    request.headers.set(http::headers::kMeshPriority, value);
+  }
+}
+
+}  // namespace meshnet::core

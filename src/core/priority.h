@@ -1,0 +1,34 @@
+#pragma once
+
+// Priority vocabulary for the cross-layer case study (paper §4).
+//
+// On the wire, priority is the custom HTTP header x-mesh-priority with
+// values "high" / "low" (paper §4.3 step 1). Inside the mesh it maps onto
+// the mesh's TrafficClass, which in turn carries per-class transport and
+// DSCP policy.
+
+#include <optional>
+#include <string_view>
+
+#include "http/message.h"
+#include "mesh/filter.h"
+
+namespace meshnet::core {
+
+inline constexpr std::string_view kPriorityHigh = "high";
+inline constexpr std::string_view kPriorityLow = "low";
+
+/// Parses the x-mesh-priority header value. Unknown values -> nullopt.
+std::optional<mesh::TrafficClass> parse_priority(std::string_view value);
+
+/// Formats a traffic class as a header value ("" for kDefault).
+std::string_view priority_header_value(mesh::TrafficClass c) noexcept;
+
+/// Reads the priority of a request from its headers.
+std::optional<mesh::TrafficClass> request_priority(
+    const http::HttpRequest& request);
+
+/// Stamps the priority header onto a request.
+void set_request_priority(http::HttpRequest& request, mesh::TrafficClass c);
+
+}  // namespace meshnet::core

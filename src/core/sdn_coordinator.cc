@@ -1,0 +1,32 @@
+#include "core/sdn_coordinator.h"
+
+namespace meshnet::core {
+
+void SdnCoordinator::advertise(const net::FlowKey& flow,
+                               mesh::TrafficClass traffic_class) {
+  flows_[flow] = traffic_class;
+  ++advertisements_;
+}
+
+void SdnCoordinator::withdraw(const net::FlowKey& flow) {
+  flows_.erase(flow);
+}
+
+mesh::TrafficClass SdnCoordinator::classify(const net::FlowKey& flow) const {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) it = flows_.find(flow.reversed());
+  return it == flows_.end() ? mesh::TrafficClass::kDefault : it->second;
+}
+
+void SdnCoordinator::program_link(net::Link& link, double high_share,
+                                  std::uint64_t per_band_queue_bytes) {
+  link.set_qdisc(std::make_unique<net::WeightedPrioQdisc>(
+      std::vector<double>{high_share, 1.0 - high_share},
+      [this](const net::Packet& p) {
+        return classify(p.flow) == mesh::TrafficClass::kLatencySensitive ? 0
+                                                                         : 1;
+      },
+      per_band_queue_bytes));
+}
+
+}  // namespace meshnet::core

@@ -1,0 +1,91 @@
+#pragma once
+
+// HTTP/1.1 wire codec.
+//
+// serialize_*() produce real request/status lines and header blocks with a
+// content-length framed body. HttpParser is an incremental push parser:
+// feed it arbitrary byte chunks straight off a transport connection and it
+// emits complete messages, handling messages split across chunks and
+// multiple pipelined messages inside one chunk. Malformed input moves the
+// parser into an error state that the caller can observe and reset.
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "http/message.h"
+
+namespace meshnet::http {
+
+std::string serialize_request(const HttpRequest& request);
+std::string serialize_response(const HttpResponse& response);
+
+enum class ParserKind { kRequest, kResponse };
+
+enum class ParserError {
+  kNone,
+  kBadStartLine,
+  kBadHeader,
+  kBadContentLength,
+  kHeadTooLarge,
+};
+
+class HttpParser {
+ public:
+  using RequestHandler = std::function<void(HttpRequest)>;
+  using ResponseHandler = std::function<void(HttpResponse)>;
+
+  explicit HttpParser(ParserKind kind);
+
+  void set_on_request(RequestHandler handler) {
+    on_request_ = std::move(handler);
+  }
+  void set_on_response(ResponseHandler handler) {
+    on_response_ = std::move(handler);
+  }
+
+  /// Consumes a chunk of bytes. Returns false once the parser is in an
+  /// error state (further input is ignored until reset()).
+  bool feed(std::string_view data);
+
+  bool has_error() const noexcept { return error_ != ParserError::kNone; }
+  ParserError error() const noexcept { return error_; }
+
+  /// Number of complete messages emitted so far.
+  std::uint64_t messages_parsed() const noexcept { return parsed_; }
+
+  /// Bytes buffered waiting for more input.
+  std::size_t buffered_bytes() const noexcept {
+    return head_buffer_.size() + body_.size();
+  }
+
+  void reset();
+
+  /// Upper bound on the head (start line + headers) before the parser
+  /// rejects the message.
+  static constexpr std::size_t kMaxHeadBytes = 64 * 1024;
+
+ private:
+  enum class State { kHead, kBody, kError };
+
+  void parse_head();
+  bool parse_start_line(std::string_view line);
+  void emit_message();
+  void fail(ParserError error);
+
+  ParserKind kind_;
+  State state_ = State::kHead;
+  ParserError error_ = ParserError::kNone;
+  std::string head_buffer_;
+  std::string body_;
+  std::size_t body_expected_ = 0;
+  HttpRequest request_;
+  HttpResponse response_;
+  std::uint64_t parsed_ = 0;
+  RequestHandler on_request_;
+  ResponseHandler on_response_;
+};
+
+}  // namespace meshnet::http

@@ -1,0 +1,45 @@
+#include "http/header_map.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace meshnet::http {
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  entries_.emplace_back(util::to_lower(name), std::string(value));
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& [key, value] : entries_) {
+    if (util::iequals(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::string HeaderMap::get_or(std::string_view name,
+                              std::string_view fallback) const {
+  const auto v = get(name);
+  return std::string(v ? *v : fallback);
+}
+
+bool HeaderMap::has(std::string_view name) const {
+  return get(name).has_value();
+}
+
+std::size_t HeaderMap::remove(std::string_view name) {
+  const auto before = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const auto& entry) {
+                                  return util::iequals(entry.first, name);
+                                }),
+                 entries_.end());
+  return before - entries_.size();
+}
+
+}  // namespace meshnet::http

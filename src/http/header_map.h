@@ -1,0 +1,65 @@
+#pragma once
+
+// Order-preserving, case-insensitive HTTP header collection, plus the
+// well-known header names the mesh and the cross-layer case study use.
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace meshnet::http {
+
+namespace headers {
+inline constexpr std::string_view kContentLength = "content-length";
+inline constexpr std::string_view kHost = "host";
+/// Global request id propagated by apps so the mesh can correlate the
+/// sub-requests a service spawns with the inbound request that caused
+/// them (Istio/Envoy's x-request-id).
+inline constexpr std::string_view kRequestId = "x-request-id";
+/// The case study's custom priority header (paper §4.3 impl. step 1):
+/// "high" or "low", set at the ingress/front-end and propagated by the
+/// provenance filter.
+inline constexpr std::string_view kMeshPriority = "x-mesh-priority";
+/// Distributed-tracing span context: trace id and parent span id.
+inline constexpr std::string_view kTraceId = "x-b3-traceid";
+inline constexpr std::string_view kSpanId = "x-b3-spanid";
+inline constexpr std::string_view kParentSpanId = "x-b3-parentspanid";
+/// Number of upstream retry attempts already made (Envoy convention).
+inline constexpr std::string_view kRetryAttempt = "x-envoy-attempt-count";
+}  // namespace headers
+
+class HeaderMap {
+ public:
+  /// Last-write-wins set (replaces all existing values for the name).
+  void set(std::string_view name, std::string_view value);
+
+  /// Appends a possibly-duplicate header.
+  void add(std::string_view name, std::string_view value);
+
+  /// First value for the name, case-insensitively.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+
+  bool has(std::string_view name) const;
+
+  /// Removes all values for the name; returns how many were removed.
+  std::size_t remove(std::string_view name);
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  bool empty() const noexcept { return entries_.empty(); }
+
+  /// Entries in insertion order (names stored lowercased).
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+  friend bool operator==(const HeaderMap&, const HeaderMap&) = default;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+}  // namespace meshnet::http

@@ -1,0 +1,48 @@
+#pragma once
+
+// HTTP/1.1-style request and response messages. Bodies are plain byte
+// strings; the codec (codec.h) turns messages into wire bytes and back.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "http/header_map.h"
+
+namespace meshnet::http {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path = "/";
+  HeaderMap headers;
+  std::string body;
+
+  /// Convenience accessors for the headers the mesh manipulates.
+  std::string request_id() const {
+    return headers.get_or(headers::kRequestId, "");
+  }
+  void set_request_id(std::string_view id) {
+    headers.set(headers::kRequestId, id);
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  HeaderMap headers;
+  std::string body;
+
+  bool ok() const noexcept { return status >= 200 && status < 300; }
+};
+
+/// Reason phrases for the subset of statuses the mesh generates.
+std::string_view status_text(int status) noexcept;
+
+/// Fresh globally unique request id ("req-<counter>-<hex>"). Deterministic
+/// across a run given the same call sequence; uniqueness is process-wide.
+std::string generate_request_id();
+
+/// Resets the request-id counter (tests and benches call this so repeated
+/// experiments in one process produce identical ids).
+void reset_request_id_counter();
+
+}  // namespace meshnet::http

@@ -1,0 +1,72 @@
+#include "mesh/circuit_breaker.h"
+
+namespace meshnet::mesh {
+
+std::string_view circuit_state_name(CircuitState state) noexcept {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "closed";
+    case CircuitState::kOpen:
+      return "open";
+    case CircuitState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerConfig config)
+    : config_(config) {}
+
+bool CircuitBreaker::allow_request(sim::Time now) {
+  if (config_.consecutive_failures == 0) return true;  // disabled
+  switch (state_) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kOpen:
+      if (now - opened_at_ >= config_.open_duration) {
+        state_ = CircuitState::kHalfOpen;
+        probes_in_flight_ = 0;
+      } else {
+        return false;
+      }
+      [[fallthrough]];
+    case CircuitState::kHalfOpen:
+      if (probes_in_flight_ < config_.half_open_probes) {
+        ++probes_in_flight_;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success(sim::Time /*now*/) {
+  if (config_.consecutive_failures == 0) return;
+  failures_ = 0;
+  if (state_ == CircuitState::kHalfOpen) {
+    state_ = CircuitState::kClosed;
+    probes_in_flight_ = 0;
+  }
+}
+
+void CircuitBreaker::on_failure(sim::Time now) {
+  if (config_.consecutive_failures == 0) return;
+  if (state_ == CircuitState::kHalfOpen) {
+    open(now);
+    return;
+  }
+  if (state_ == CircuitState::kClosed) {
+    ++failures_;
+    if (failures_ >= config_.consecutive_failures) open(now);
+  }
+}
+
+void CircuitBreaker::open(sim::Time now) {
+  state_ = CircuitState::kOpen;
+  opened_at_ = now;
+  failures_ = 0;
+  probes_in_flight_ = 0;
+  ++times_opened_;
+}
+
+}  // namespace meshnet::mesh

@@ -1,0 +1,58 @@
+#pragma once
+
+// Per-endpoint circuit breaker / outlier detection (paper §2: "resilience,
+// such as ... implementing a 'circuit breaker' pattern to avoid
+// underperforming instances").
+//
+// Classic three-state machine: CLOSED counts consecutive failures; at the
+// threshold it OPENs for a cooldown during which the endpoint is skipped
+// by endpoint selection; after cooldown it goes HALF-OPEN and admits a
+// limited number of probe requests — a probe success closes the circuit,
+// a probe failure re-opens it.
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace meshnet::mesh {
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker. 0 disables it.
+  std::uint32_t consecutive_failures = 5;
+  sim::Duration open_duration = sim::milliseconds(500);
+  std::uint32_t half_open_probes = 1;
+};
+
+enum class CircuitState { kClosed, kOpen, kHalfOpen };
+
+std::string_view circuit_state_name(CircuitState state) noexcept;
+
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {});
+
+  /// True when a request may be sent at `now`. Transitions kOpen ->
+  /// kHalfOpen when the cooldown has elapsed. In kHalfOpen, admits up to
+  /// `half_open_probes` in-flight probes.
+  bool allow_request(sim::Time now);
+
+  void on_success(sim::Time now);
+  void on_failure(sim::Time now);
+
+  CircuitState state() const noexcept { return state_; }
+  std::uint32_t consecutive_failures() const noexcept { return failures_; }
+  std::uint64_t times_opened() const noexcept { return times_opened_; }
+
+ private:
+  void open(sim::Time now);
+
+  CircuitBreakerConfig config_;
+  CircuitState state_ = CircuitState::kClosed;
+  std::uint32_t failures_ = 0;
+  std::uint32_t probes_in_flight_ = 0;
+  sim::Time opened_at_ = 0;
+  std::uint64_t times_opened_ = 0;
+};
+
+}  // namespace meshnet::mesh

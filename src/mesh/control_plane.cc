@@ -1,0 +1,112 @@
+#include "mesh/control_plane.h"
+
+#include <utility>
+
+#include "mesh/builtin_filters.h"
+#include "util/logging.h"
+
+namespace meshnet::mesh {
+
+ControlPlane::ControlPlane(sim::Simulator& sim, cluster::Cluster& cluster,
+                           MeshPolicies policies)
+    : sim_(sim), cluster_(cluster), policies_(std::move(policies)) {}
+
+Sidecar& ControlPlane::inject_sidecar(cluster::Pod& pod,
+                                      SidecarInjectionOptions options) {
+  SidecarConfig config;
+  config.service_name = pod.service().empty() ? pod.name() : pod.service();
+  config.app_port = options.gateway_mode ? 0 : options.app_port;
+  config.gateway_mode = options.gateway_mode;
+  config.outbound_port = options.outbound_port;
+
+  auto sidecar = std::make_unique<Sidecar>(sim_, pod, tracer_, &telemetry_,
+                                           std::move(config));
+  Sidecar& ref = *sidecar;
+  sidecars_.push_back(std::move(sidecar));
+
+  // Standard filter set. Order matters: identity before authz; tracing
+  // first so every later filter sees the request id.
+  const std::string service = ref.config().service_name;
+  ref.inbound_filters().append(
+      std::make_shared<TracingFilter>(tracer_, sim_, service));
+  ref.inbound_filters().append(std::make_shared<AuthorizationFilter>(
+      service, &policies_.authorization));
+  ref.outbound_filters().append(
+      std::make_shared<TracingFilter>(tracer_, sim_, service));
+  ref.outbound_filters().append(
+      std::make_shared<SourceIdentityFilter>(service));
+
+  issue_certificate(service);
+  ref.apply_config(compile_config(ref));
+  ref.start();
+  return ref;
+}
+
+void ControlPlane::start(sim::Duration poll_interval) {
+  if (started_) return;
+  started_ = true;
+  poll_interval_ = poll_interval;
+  push_config();
+  sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
+}
+
+void ControlPlane::poll_registry() {
+  if (cluster_.registry().version() != last_registry_version_) {
+    push_config();
+  }
+  sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
+}
+
+void ControlPlane::push_config() {
+  last_registry_version_ = cluster_.registry().version();
+  for (const auto& sidecar : sidecars_) {
+    sidecar->apply_config(compile_config(*sidecar));
+  }
+  ++pushes_;
+  MESHNET_DEBUG() << "control plane push #" << pushes_ << " (registry v"
+                  << last_registry_version_ << ")";
+}
+
+SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
+  SidecarConfig config;
+  config.service_name = sidecar.config().service_name;
+  config.retry = policies_.retry;
+  config.request_timeout = policies_.request_timeout;
+  config.authorization = policies_.authorization;
+  config.class_policies = policies_.class_policies;
+  config.transport_mss = policies_.transport_mss;
+  config.max_pool_connections = policies_.max_pool_connections;
+  config.upstream_connection_hook = policies_.upstream_connection_hook;
+  config.proxy_overhead_base = policies_.proxy_overhead_base;
+  config.proxy_overhead_jitter = policies_.proxy_overhead_jitter;
+
+  for (const cluster::ServiceInfo* info : cluster_.registry().services()) {
+    ClusterSpec spec;
+    spec.name = info->name;
+    spec.endpoints = info->endpoints;
+    spec.breaker = policies_.breaker;
+    spec.lb = policies_.default_lb;
+    const auto lb_it = policies_.lb_overrides.find(info->name);
+    if (lb_it != policies_.lb_overrides.end()) spec.lb = lb_it->second;
+    config.clusters.emplace(info->name, std::move(spec));
+  }
+  return config;
+}
+
+Certificate ControlPlane::issue_certificate(const std::string& service) {
+  Certificate cert;
+  cert.serial = next_serial_++;
+  cert.spiffe_id = "spiffe://cluster.local/ns/default/sa/" + service;
+  cert.issued_at = sim_.now();
+  cert.expires_at = sim_.now() + policies_.certificate_lifetime;
+  return cert;
+}
+
+Sidecar* ControlPlane::sidecar_for(const std::string& pod_name) {
+  for (const auto& sidecar : sidecars_) {
+    if (sidecar->pod().name() == pod_name) return sidecar.get();
+  }
+  return nullptr;
+}
+
+}  // namespace meshnet::mesh

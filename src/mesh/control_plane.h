@@ -1,0 +1,113 @@
+#pragma once
+
+// The mesh control plane (istiod's role): a central place where the
+// operator defines policy, which is compiled into per-sidecar configs and
+// pushed to the data plane (xDS-style). It also owns service discovery
+// (watching the cluster's ServiceRegistry by version), certificate
+// issuance, the tracer, and the telemetry sink — the boxes in the paper's
+// Fig. 1.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mesh/sidecar.h"
+#include "mesh/telemetry.h"
+#include "mesh/tracing.h"
+
+namespace meshnet::mesh {
+
+/// A workload identity certificate (SPIFFE-flavoured). The simulation
+/// does not encrypt bytes, but identity issuance/rotation is modelled so
+/// policy has something real to hang off.
+struct Certificate {
+  std::uint64_t serial = 0;
+  std::string spiffe_id;  ///< "spiffe://cluster.local/ns/default/sa/<svc>"
+  sim::Time issued_at = 0;
+  sim::Time expires_at = 0;
+
+  bool valid_at(sim::Time now) const noexcept {
+    return now >= issued_at && now < expires_at;
+  }
+};
+
+/// Operator-defined, mesh-wide policy.
+struct MeshPolicies {
+  LbPolicy default_lb = LbPolicy::kRoundRobin;
+  RetryPolicy retry;
+  CircuitBreakerConfig breaker;
+  sim::Duration request_timeout = sim::seconds(15);
+  std::map<std::string, std::vector<std::string>> authorization;
+  std::map<TrafficClass, TrafficClassPolicy> class_policies;
+  /// Per-cluster LB overrides (cluster name -> policy).
+  std::map<std::string, LbPolicy> lb_overrides;
+  std::uint32_t transport_mss = 1460;
+  std::size_t max_pool_connections = 256;
+  sim::Duration certificate_lifetime = sim::seconds(24 * 3600);
+  /// Per-traversal proxy processing cost (see SidecarConfig).
+  sim::Duration proxy_overhead_base = sim::microseconds(150);
+  sim::Duration proxy_overhead_jitter = sim::microseconds(100);
+  /// Propagated into every sidecar's config on push (see SidecarConfig).
+  std::function<void(transport::Connection&, TrafficClass)>
+      upstream_connection_hook;
+};
+
+struct SidecarInjectionOptions {
+  net::Port app_port = 8080;
+  bool gateway_mode = false;
+  net::Port outbound_port = 15001;  ///< gateway exposes this port
+};
+
+class ControlPlane {
+ public:
+  ControlPlane(sim::Simulator& sim, cluster::Cluster& cluster,
+               MeshPolicies policies = {});
+  ControlPlane(const ControlPlane&) = delete;
+  ControlPlane& operator=(const ControlPlane&) = delete;
+
+  /// Creates, registers and starts a sidecar for `pod`, with the standard
+  /// filter set installed and current discovery state pushed.
+  Sidecar& inject_sidecar(cluster::Pod& pod, SidecarInjectionOptions options);
+
+  /// Begins watching the service registry; on every version change the
+  /// control plane re-pushes config to all sidecars. `poll_interval`
+  /// models xDS push latency.
+  void start(sim::Duration poll_interval = sim::milliseconds(100));
+
+  /// Immediately recompiles and pushes config to every sidecar.
+  void push_config();
+
+  /// Issues (or rotates) a certificate for a service identity.
+  Certificate issue_certificate(const std::string& service);
+
+  MeshPolicies& policies() noexcept { return policies_; }
+  Tracer& tracer() noexcept { return tracer_; }
+  TelemetrySink& telemetry() noexcept { return telemetry_; }
+  cluster::Cluster& cluster() noexcept { return cluster_; }
+  const std::vector<std::unique_ptr<Sidecar>>& sidecars() const {
+    return sidecars_;
+  }
+  Sidecar* sidecar_for(const std::string& pod_name);
+  std::uint64_t pushes() const noexcept { return pushes_; }
+
+ private:
+  SidecarConfig compile_config(const Sidecar& sidecar) const;
+  void poll_registry();
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  MeshPolicies policies_;
+  Tracer tracer_;
+  TelemetrySink telemetry_;
+  std::vector<std::unique_ptr<Sidecar>> sidecars_;
+  std::uint64_t last_registry_version_ = 0;
+  std::uint64_t next_serial_ = 1;
+  std::uint64_t pushes_ = 0;
+  sim::Duration poll_interval_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace meshnet::mesh

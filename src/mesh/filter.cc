@@ -1,0 +1,40 @@
+#include "mesh/filter.h"
+
+namespace meshnet::mesh {
+
+std::string_view traffic_class_name(TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::kDefault:
+      return "default";
+    case TrafficClass::kLatencySensitive:
+      return "latency-sensitive";
+    case TrafficClass::kScavenger:
+      return "scavenger";
+  }
+  return "?";
+}
+
+bool FilterChain::run_request(RequestContext& ctx) const {
+  for (const auto& filter : filters_) {
+    if (filter->on_request(ctx) == FilterStatus::kStopIteration) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void FilterChain::run_response(RequestContext& ctx,
+                               http::HttpResponse& response) const {
+  for (auto it = filters_.rbegin(); it != filters_.rend(); ++it) {
+    (*it)->on_response(ctx, response);
+  }
+}
+
+std::vector<std::string> FilterChain::filter_names() const {
+  std::vector<std::string> names;
+  names.reserve(filters_.size());
+  for (const auto& filter : filters_) names.push_back(filter->name());
+  return names;
+}
+
+}  // namespace meshnet::mesh

@@ -1,0 +1,479 @@
+#include "mesh/sidecar.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace meshnet::mesh {
+
+Sidecar::Sidecar(sim::Simulator& sim, cluster::Pod& pod, Tracer& tracer,
+                 TelemetrySink* telemetry, SidecarConfig config)
+    : sim_(sim),
+      pod_(pod),
+      tracer_(tracer),
+      telemetry_(telemetry),
+      config_(std::move(config)),
+      overhead_rng_(0x5ecda, "sidecar:" + pod.name()) {}
+
+sim::Duration Sidecar::proxy_delay() {
+  sim::Duration delay = config_.proxy_overhead_base;
+  if (config_.proxy_overhead_jitter > 0) {
+    delay += sim::from_seconds(overhead_rng_.exponential(
+        sim::to_seconds(config_.proxy_overhead_jitter)));
+  }
+  return delay;
+}
+
+Sidecar::~Sidecar() = default;
+
+void Sidecar::start() {
+  if (started_) return;
+  started_ = true;
+  transport::TransportHost& host = pod_.transport();
+  if (!config_.gateway_mode && config_.app_port != 0) {
+    host.listen(config_.inbound_port, [this](transport::Connection& conn) {
+      accept_session(conn, FilterDirection::kInbound);
+    });
+    HttpClientPool::Options app_options;
+    // Sidecar <-> app rides the pod-local loopback (64 KB MTU).
+    app_options.connection.mss = 65496;
+    app_options.max_connections = config_.max_pool_connections;
+    app_pool_ = std::make_unique<HttpClientPool>(
+        sim_, host, net::SocketAddress{pod_.ip(), config_.app_port},
+        app_options, config_.service_name + ":app");
+  }
+  host.listen(config_.outbound_port, [this](transport::Connection& conn) {
+    accept_session(conn, FilterDirection::kOutbound);
+  });
+}
+
+void Sidecar::apply_config(SidecarConfig config) {
+  // Identity and listener ports are immutable post-start.
+  config.service_name = config_.service_name;
+  config.app_port = config_.app_port;
+  config.inbound_port = config_.inbound_port;
+  config.outbound_port = config_.outbound_port;
+  config.gateway_mode = config_.gateway_mode;
+  config_ = std::move(config);
+  // Balancers are rebuilt lazily so a changed LB policy takes effect.
+  balancers_.clear();
+}
+
+std::uint64_t Sidecar::active_requests_to(const std::string& pod_name) const {
+  const auto it = active_per_endpoint_.find(pod_name);
+  return it == active_per_endpoint_.end() ? 0 : it->second;
+}
+
+CircuitBreaker& Sidecar::breaker_for(const std::string& cluster_name,
+                                     const std::string& pod_name) {
+  const std::string key = cluster_name + "/" + pod_name;
+  const auto it = breakers_.find(key);
+  if (it != breakers_.end()) return it->second;
+  const auto spec_it = config_.clusters.find(cluster_name);
+  CircuitBreakerConfig cfg =
+      spec_it == config_.clusters.end() ? CircuitBreakerConfig{}
+                                        : spec_it->second.breaker;
+  return breakers_.emplace(key, CircuitBreaker(cfg)).first->second;
+}
+
+void Sidecar::accept_session(transport::Connection& conn,
+                             FilterDirection direction) {
+  auto session = std::make_unique<ServerSession>();
+  ServerSession* raw = session.get();
+  raw->id = next_session_id_++;
+  raw->conn = &conn;
+  raw->direction = direction;
+  raw->parser = std::make_unique<http::HttpParser>(http::ParserKind::kRequest);
+  const std::uint64_t id = raw->id;
+  raw->parser->set_on_request([this, id](http::HttpRequest req) {
+    on_session_request(id, std::move(req));
+  });
+  conn.set_on_data([this, raw, id](std::string_view data) {
+    if (!raw->parser->feed(data)) {
+      MESHNET_WARN() << "sidecar: request parse error; resetting session";
+      // Abort on a fresh simulator step: aborting here would destroy the
+      // parser that is currently executing.
+      sim_.schedule_after(0, [this, id] {
+        const auto it = sessions_.find(id);
+        if (it != sessions_.end()) it->second->conn->abort();
+      });
+    }
+  });
+  conn.set_on_closed([this, id](bool /*graceful*/) {
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    ServerSession& s = *it->second;
+    if (s.try_timer != sim::kInvalidEventId) sim_.cancel(s.try_timer);
+    if (s.busy && s.upstream_pool != nullptr && s.upstream_req != 0) {
+      s.upstream_pool->cancel(s.upstream_req);
+    }
+    sessions_.erase(it);
+  });
+  sessions_.emplace(id, std::move(session));
+}
+
+void Sidecar::on_session_request(std::uint64_t session_id,
+                                 http::HttpRequest req) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  ServerSession& session = *it->second;
+  session.pending.push_back(std::move(req));
+  pump_session(session);
+}
+
+void Sidecar::pump_session(ServerSession& session) {
+  if (session.busy || session.pending.empty()) return;
+  session.busy = true;
+  http::HttpRequest req = std::move(session.pending.front());
+  session.pending.pop_front();
+  process_request(session.id, std::move(req), session.direction);
+}
+
+http::HttpResponse Sidecar::make_local_response(int status,
+                                                std::string_view body) {
+  http::HttpResponse response;
+  response.status = status;
+  response.body = std::string(body);
+  response.headers.set("x-served-by", config_.service_name + "-sidecar");
+  ++stats_.local_responses;
+  return response;
+}
+
+void Sidecar::process_request(std::uint64_t session_id, http::HttpRequest req,
+                              FilterDirection direction) {
+  // Charge the proxy's request-path processing cost before any filter or
+  // routing work happens.
+  const sim::Duration delay = proxy_delay();
+  if (delay > 0) {
+    sim_.schedule_after(
+        delay, [this, session_id, req = std::move(req), direction]() mutable {
+          process_request_now(session_id, std::move(req), direction);
+        });
+    return;
+  }
+  process_request_now(session_id, std::move(req), direction);
+}
+
+void Sidecar::process_request_now(std::uint64_t session_id,
+                                  http::HttpRequest req,
+                                  FilterDirection direction) {
+  auto ctx = std::make_shared<RequestContext>();
+  ctx->request = std::move(req);
+  ctx->direction = direction;
+  ctx->start_time = sim_.now();
+  ctx->source_service =
+      ctx->request.headers.get_or("x-mesh-source", "");
+
+  const FilterChain& chain = direction == FilterDirection::kInbound
+                                 ? inbound_chain_
+                                 : outbound_chain_;
+  if (direction == FilterDirection::kInbound) {
+    ++stats_.inbound_requests;
+  } else {
+    ++stats_.outbound_requests;
+  }
+
+  if (!chain.run_request(*ctx)) {
+    http::HttpResponse response =
+        ctx->local_response ? std::move(*ctx->local_response)
+                            : make_local_response(403, "filter denied");
+    chain.run_response(*ctx, response);
+    respond_to_session(session_id, ctx, std::move(response));
+    return;
+  }
+
+  if (direction == FilterDirection::kInbound) {
+    forward_to_app(session_id, std::move(ctx));
+  } else {
+    route_and_forward(session_id, std::move(ctx));
+  }
+}
+
+void Sidecar::respond_to_session(std::uint64_t session_id, const Ctx& /*ctx*/,
+                                 http::HttpResponse response) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;  // downstream went away
+  ServerSession& session = *it->second;
+  session.upstream_pool = nullptr;
+  session.upstream_req = 0;
+  if (session.try_timer != sim::kInvalidEventId) {
+    sim_.cancel(session.try_timer);
+    session.try_timer = sim::kInvalidEventId;
+  }
+  // Charge the proxy's response-path processing cost before the bytes hit
+  // the wire.
+  const sim::Duration delay = proxy_delay();
+  auto deliver = [this, session_id,
+                  payload = http::serialize_response(response)]() mutable {
+    const auto sit = sessions_.find(session_id);
+    if (sit == sessions_.end()) return;
+    ServerSession& s = *sit->second;
+    s.conn->send(std::move(payload));
+    s.busy = false;
+    pump_session(s);
+  };
+  if (delay > 0) {
+    sim_.schedule_after(delay, std::move(deliver));
+  } else {
+    deliver();
+  }
+}
+
+void Sidecar::forward_to_app(std::uint64_t session_id, Ctx ctx) {
+  if (!app_pool_) {
+    respond_to_session(session_id, ctx,
+                       make_local_response(503, "no local app"));
+    return;
+  }
+  http::HttpRequest upstream_req = ctx->request;  // copy: retry-safe
+  app_pool_->request(
+      std::move(upstream_req),
+      [this, session_id, ctx](std::optional<http::HttpResponse> response,
+                              const std::string& error) {
+        http::HttpResponse resp =
+            response ? std::move(*response)
+                     : make_local_response(503, "app unreachable: " + error);
+        inbound_chain_.run_response(*ctx, resp);
+        respond_to_session(session_id, ctx, std::move(resp));
+      });
+}
+
+const ClusterSpec* Sidecar::resolve_cluster(const std::string& host) const {
+  std::string cluster_name = host;
+  const auto route = config_.routes.find(host);
+  if (route != config_.routes.end()) cluster_name = route->second;
+  const auto it = config_.clusters.find(cluster_name);
+  return it == config_.clusters.end() ? nullptr : &it->second;
+}
+
+std::vector<const cluster::Endpoint*> Sidecar::eligible_endpoints(
+    const ClusterSpec& spec, const RequestContext& ctx) {
+  std::vector<const cluster::Endpoint*> subset_matched;
+  std::vector<const cluster::Endpoint*> all;
+  for (const cluster::Endpoint& ep : spec.endpoints) {
+    all.push_back(&ep);
+    bool matches = true;
+    for (const auto& [key, value] : ctx.subset) {
+      if (ep.label_or(key, "") != value) {
+        matches = false;
+        break;
+      }
+    }
+    if (matches) subset_matched.push_back(&ep);
+  }
+  if (!subset_matched.empty()) return subset_matched;
+  if (!ctx.subset.empty() && spec.subset_fallback) return all;
+  return subset_matched;  // empty
+}
+
+HttpClientPool& Sidecar::pool_for(const cluster::Endpoint& endpoint,
+                                  TrafficClass traffic_class,
+                                  net::Port port) {
+  const PoolKey key{endpoint.ip, port, traffic_class};
+  const auto it = pools_.find(key);
+  if (it != pools_.end()) return *it->second;
+  HttpClientPool::Options options;
+  options.connection = connection_options_for(traffic_class);
+  options.max_connections = config_.max_pool_connections;
+  if (config_.upstream_connection_hook) {
+    options.on_connection_created =
+        [this, traffic_class](transport::Connection& conn) {
+          config_.upstream_connection_hook(conn, traffic_class);
+        };
+  }
+  auto pool = std::make_unique<HttpClientPool>(
+      sim_, pod_.transport(), net::SocketAddress{endpoint.ip, port}, options,
+      config_.service_name + "->" + endpoint.pod_name + "/" +
+          std::string(traffic_class_name(traffic_class)));
+  HttpClientPool& ref = *pool;
+  pools_.emplace(key, std::move(pool));
+  return ref;
+}
+
+LoadBalancer& Sidecar::balancer_for(const ClusterSpec& spec) {
+  const auto it = balancers_.find(spec.name);
+  if (it != balancers_.end()) return *it->second;
+  // Seed from a hash of the service + cluster so picks are deterministic
+  // but uncorrelated across sidecars.
+  std::uint64_t seed = 1469598103934665603ULL;
+  for (const char c : config_.service_name + "|" + spec.name) {
+    seed = (seed ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+  }
+  return *balancers_.emplace(spec.name, make_balancer(spec.lb, seed))
+              .first->second;
+}
+
+transport::ConnectionOptions Sidecar::connection_options_for(
+    TrafficClass traffic_class) const {
+  transport::ConnectionOptions options;
+  options.mss = config_.transport_mss;
+  const auto it = config_.class_policies.find(traffic_class);
+  if (it != config_.class_policies.end()) {
+    options.cc = it->second.cc;
+    options.dscp = it->second.dscp;
+  }
+  return options;
+}
+
+void Sidecar::route_and_forward(std::uint64_t session_id, Ctx ctx) {
+  const std::string host =
+      ctx->request.headers.get_or(http::headers::kHost, "");
+  if (!ctx->upstream_cluster.empty()) {
+    // A filter already routed (e.g. traffic shifting); keep it.
+  } else if (const ClusterSpec* spec = resolve_cluster(host)) {
+    ctx->upstream_cluster = spec->name;
+  } else {
+    respond_to_session(session_id, ctx,
+                       make_local_response(404, "no route for host " + host));
+    return;
+  }
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  it->second->deadline = sim_.now() + config_.request_timeout;
+  attempt_upstream(session_id, std::move(ctx));
+}
+
+void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
+  const auto sess_it = sessions_.find(session_id);
+  if (sess_it == sessions_.end()) return;  // downstream gone
+  ServerSession& session = *sess_it->second;
+
+  const auto cluster_it = config_.clusters.find(ctx->upstream_cluster);
+  if (cluster_it == config_.clusters.end()) {
+    respond_to_session(session_id, ctx,
+                       make_local_response(503, "cluster vanished"));
+    return;
+  }
+  const ClusterSpec& spec = cluster_it->second;
+
+  if (sim_.now() >= session.deadline) {
+    ++stats_.timeouts;
+    respond_to_session(session_id, ctx,
+                       make_local_response(504, "request deadline exceeded"));
+    return;
+  }
+
+  std::vector<const cluster::Endpoint*> candidates =
+      eligible_endpoints(spec, *ctx);
+  LbContext lb_ctx;
+  lb_ctx.active_requests = [this](const cluster::Endpoint& ep) {
+    return active_requests_to(ep.pod_name);
+  };
+  LoadBalancer& balancer = balancer_for(spec);
+  const cluster::Endpoint* chosen = nullptr;
+  while (!candidates.empty()) {
+    const cluster::Endpoint* pick = balancer.pick(candidates, lb_ctx);
+    if (pick == nullptr) break;
+    if (breaker_for(spec.name, pick->pod_name).allow_request(sim_.now())) {
+      chosen = pick;
+      break;
+    }
+    candidates.erase(std::find(candidates.begin(), candidates.end(), pick));
+  }
+  if (chosen == nullptr) {
+    ++stats_.upstream_failures;
+    respond_to_session(
+        session_id, ctx,
+        make_local_response(503, "no healthy upstream in " + spec.name));
+    return;
+  }
+
+  ctx->request.headers.set(http::headers::kRetryAttempt,
+                           std::to_string(ctx->attempt + 1));
+  // The wire hop goes to the remote pod's *inbound sidecar listener*; the
+  // Host header tells the remote side which service was meant (the moral
+  // equivalent of Istio's iptables redirect preserving metadata).
+  HttpClientPool& pool =
+      pool_for(*chosen, ctx->traffic_class, config_.inbound_port);
+  ++active_per_endpoint_[chosen->pod_name];
+
+  const std::string endpoint_pod = chosen->pod_name;
+  const std::string cluster_name = spec.name;
+  session.upstream_pool = &pool;
+  session.upstream_req = pool.request(
+      ctx->request,
+      [this, session_id, ctx, cluster_name, endpoint_pod](
+          std::optional<http::HttpResponse> response,
+          const std::string& error) {
+        on_upstream_result(session_id, ctx, cluster_name, endpoint_pod,
+                           std::move(response), error);
+      });
+
+  if (config_.retry.per_try_timeout > 0) {
+    session.try_timer = sim_.schedule_after(
+        config_.retry.per_try_timeout,
+        [this, session_id, ctx, cluster_name, endpoint_pod] {
+          const auto it = sessions_.find(session_id);
+          if (it == sessions_.end()) return;
+          ServerSession& s = *it->second;
+          s.try_timer = sim::kInvalidEventId;
+          if (s.upstream_pool != nullptr && s.upstream_req != 0) {
+            s.upstream_pool->cancel(s.upstream_req);
+            s.upstream_pool = nullptr;
+            s.upstream_req = 0;
+          }
+          ++stats_.timeouts;
+          on_upstream_result(session_id, ctx, cluster_name, endpoint_pod,
+                             std::nullopt, "per-try timeout");
+        });
+  }
+}
+
+void Sidecar::on_upstream_result(std::uint64_t session_id, Ctx ctx,
+                                 const std::string& cluster_name,
+                                 const std::string& endpoint_pod,
+                                 std::optional<http::HttpResponse> response,
+                                 const std::string& error) {
+  const auto sess_it = sessions_.find(session_id);
+  if (sess_it != sessions_.end()) {
+    ServerSession& s = *sess_it->second;
+    if (s.try_timer != sim::kInvalidEventId) {
+      sim_.cancel(s.try_timer);
+      s.try_timer = sim::kInvalidEventId;
+    }
+    s.upstream_pool = nullptr;
+    s.upstream_req = 0;
+  }
+  auto& active = active_per_endpoint_[endpoint_pod];
+  if (active > 0) --active;
+
+  CircuitBreaker& breaker = breaker_for(cluster_name, endpoint_pod);
+  const bool success = response.has_value() && response->status < 500;
+  if (success) {
+    breaker.on_success(sim_.now());
+  } else {
+    breaker.on_failure(sim_.now());
+  }
+
+  const RetryPolicy& retry = config_.retry;
+  const bool failed_transport = !response.has_value();
+  const bool failed_5xx = response.has_value() && response->status >= 500;
+  const bool retryable = (failed_transport && retry.retry_on_reset) ||
+                         (failed_5xx && retry.retry_on_5xx);
+  if (retryable && ctx->attempt < retry.max_retries &&
+      sess_it != sessions_.end()) {
+    ++ctx->attempt;
+    ++stats_.upstream_retries;
+    const sim::Duration backoff = retry.backoff_base * ctx->attempt;
+    sim_.schedule_after(backoff, [this, session_id, ctx] {
+      attempt_upstream(session_id, ctx);
+    });
+    return;
+  }
+
+  http::HttpResponse final_response =
+      response ? std::move(*response)
+               : make_local_response(503, "upstream failed: " + error);
+  if (!success) ++stats_.upstream_failures;
+
+  if (telemetry_ != nullptr) {
+    telemetry_->record_request(config_.service_name, cluster_name,
+                               final_response.status,
+                               sim_.now() - ctx->start_time, ctx->attempt);
+  }
+  outbound_chain_.run_response(*ctx, final_response);
+  respond_to_session(session_id, ctx, std::move(final_response));
+}
+
+}  // namespace meshnet::mesh

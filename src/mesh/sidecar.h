@@ -1,0 +1,220 @@
+#pragma once
+
+// The sidecar proxy (Envoy's role in Istio).
+//
+// Every pod gets one. It owns two listeners:
+//  * inbound  (pod_ip:15006) — remote sidecars connect here; requests run
+//    the inbound filter chain (authz, tracing, provenance) and are then
+//    forwarded to the colocated app over the pod-local loopback.
+//  * outbound (pod_ip:15001) — the local app sends its sub-requests here;
+//    requests run the outbound filter chain (classification, provenance,
+//    priority routing), are routed by Host header to an upstream cluster,
+//    an endpoint is picked (subset + circuit breaker + load balancer),
+//    and the request rides a pooled connection to the remote sidecar,
+//    with retries and per-try timeouts.
+//
+// A sidecar with gateway_mode=true is an ingress gateway: its outbound
+// listener is exposed on the gateway port and there is no local app.
+//
+// Traffic classes map to per-class transport policy (congestion-control
+// algorithm + DSCP mark); pools are keyed by (endpoint, class) so classes
+// never share a transport connection.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "http/codec.h"
+#include "mesh/circuit_breaker.h"
+#include "mesh/filter.h"
+#include "mesh/http_client.h"
+#include "mesh/load_balancer.h"
+#include "mesh/telemetry.h"
+#include "sim/random.h"
+#include "mesh/tracing.h"
+#include "transport/transport_host.h"
+
+namespace meshnet::mesh {
+
+struct RetryPolicy {
+  int max_retries = 1;
+  /// 0 disables the per-try timeout.
+  sim::Duration per_try_timeout = 0;
+  bool retry_on_5xx = true;
+  bool retry_on_reset = true;
+  sim::Duration backoff_base = sim::milliseconds(2);
+};
+
+struct ClusterSpec {
+  std::string name;
+  std::vector<cluster::Endpoint> endpoints;
+  LbPolicy lb = LbPolicy::kRoundRobin;
+  CircuitBreakerConfig breaker;
+  /// When a subset constraint matches no endpoint, fall back to the full
+  /// healthy set instead of failing (Envoy's ANY_ENDPOINT fallback).
+  bool subset_fallback = true;
+};
+
+/// Per-traffic-class transport policy — where the cross-layer design
+/// attaches scavenger congestion control and DSCP marks to mesh classes.
+struct TrafficClassPolicy {
+  transport::CcAlgorithm cc = transport::CcAlgorithm::kReno;
+  net::Dscp dscp = net::Dscp::kDefault;
+};
+
+struct SidecarConfig {
+  std::string service_name;
+  net::Port app_port = 8080;       ///< 0 = no local app (gateway).
+  net::Port inbound_port = 15006;
+  net::Port outbound_port = 15001;
+  bool gateway_mode = false;
+
+  /// Host header -> cluster name. Hosts not listed route to the cluster
+  /// with the same name, if one exists.
+  std::map<std::string, std::string> routes;
+  std::map<std::string, ClusterSpec> clusters;
+
+  RetryPolicy retry;
+  sim::Duration request_timeout = sim::seconds(15);
+
+  /// Destination-service allow-lists (mTLS-style authorization policy):
+  /// if this sidecar's service has an entry, only the listed source
+  /// services may call it. No entry = allow all.
+  std::map<std::string, std::vector<std::string>> authorization;
+
+  std::map<TrafficClass, TrafficClassPolicy> class_policies;
+  std::uint32_t transport_mss = 1460;
+  std::size_t max_pool_connections = 256;
+
+  /// Proxy processing cost per traversal direction (request and response
+  /// each pay base + Exp(jitter)); models Envoy's userspace overhead,
+  /// which the paper (§3.6) quotes at ~3 ms p99 for a sidecar pair.
+  sim::Duration proxy_overhead_base = sim::microseconds(150);
+  sim::Duration proxy_overhead_jitter = sim::microseconds(100);
+
+  /// Observes every upstream transport connection the sidecar opens,
+  /// tagged with its traffic class (cross-layer SDN advertisement hook).
+  std::function<void(transport::Connection&, TrafficClass)>
+      upstream_connection_hook;
+};
+
+struct SidecarStats {
+  std::uint64_t inbound_requests = 0;
+  std::uint64_t outbound_requests = 0;
+  std::uint64_t upstream_retries = 0;
+  std::uint64_t upstream_failures = 0;   ///< exhausted retries
+  std::uint64_t local_responses = 0;     ///< filter short-circuits
+  std::uint64_t timeouts = 0;
+};
+
+class Sidecar {
+ public:
+  Sidecar(sim::Simulator& sim, cluster::Pod& pod, Tracer& tracer,
+          TelemetrySink* telemetry, SidecarConfig config);
+  ~Sidecar();
+  Sidecar(const Sidecar&) = delete;
+  Sidecar& operator=(const Sidecar&) = delete;
+
+  /// Opens the listeners. Call once after construction.
+  void start();
+
+  /// Replaces routing/cluster/policy state (an xDS push). Listener ports
+  /// and service identity are fixed at construction.
+  void apply_config(SidecarConfig config);
+
+  FilterChain& inbound_filters() noexcept { return inbound_chain_; }
+  FilterChain& outbound_filters() noexcept { return outbound_chain_; }
+
+  const SidecarConfig& config() const noexcept { return config_; }
+  SidecarConfig& mutable_config() noexcept { return config_; }
+  cluster::Pod& pod() noexcept { return pod_; }
+  const SidecarStats& stats() const noexcept { return stats_; }
+
+  /// Outstanding upstream requests to one endpoint (used by the
+  /// least-request balancer and exposed for tests).
+  std::uint64_t active_requests_to(const std::string& pod_name) const;
+
+  /// The breaker guarding one endpoint (created on first use).
+  CircuitBreaker& breaker_for(const std::string& cluster_name,
+                              const std::string& pod_name);
+
+ private:
+  struct ServerSession {
+    std::uint64_t id = 0;
+    transport::Connection* conn = nullptr;
+    std::unique_ptr<http::HttpParser> parser;
+    FilterDirection direction = FilterDirection::kInbound;
+    std::deque<http::HttpRequest> pending;
+    bool busy = false;
+    // Upstream call state for the active request (HTTP/1.1 serializes one
+    // request per downstream connection, so one set suffices).
+    sim::EventId try_timer = sim::kInvalidEventId;
+    HttpClientPool* upstream_pool = nullptr;
+    HttpClientPool::RequestId upstream_req = 0;
+    sim::Time deadline = 0;
+  };
+
+  struct PoolKey {
+    net::IpAddress ip;
+    net::Port port;
+    TrafficClass traffic_class;
+    auto operator<=>(const PoolKey&) const = default;
+  };
+
+  using Ctx = std::shared_ptr<RequestContext>;
+
+  void accept_session(transport::Connection& conn, FilterDirection direction);
+  void on_session_request(std::uint64_t session_id, http::HttpRequest req);
+  void pump_session(ServerSession& session);
+  void process_request(std::uint64_t session_id, http::HttpRequest req,
+                       FilterDirection direction);
+  void process_request_now(std::uint64_t session_id, http::HttpRequest req,
+                           FilterDirection direction);
+  sim::Duration proxy_delay();
+  void respond_to_session(std::uint64_t session_id, const Ctx& ctx,
+                          http::HttpResponse response);
+  void forward_to_app(std::uint64_t session_id, Ctx ctx);
+  void route_and_forward(std::uint64_t session_id, Ctx ctx);
+  void attempt_upstream(std::uint64_t session_id, Ctx ctx);
+  void on_upstream_result(std::uint64_t session_id, Ctx ctx,
+                          const std::string& cluster_name,
+                          const std::string& endpoint_pod,
+                          std::optional<http::HttpResponse> response,
+                          const std::string& error);
+  const ClusterSpec* resolve_cluster(const std::string& host) const;
+  std::vector<const cluster::Endpoint*> eligible_endpoints(
+      const ClusterSpec& spec, const RequestContext& ctx);
+  HttpClientPool& pool_for(const cluster::Endpoint& endpoint,
+                           TrafficClass traffic_class, net::Port port);
+  LoadBalancer& balancer_for(const ClusterSpec& spec);
+  transport::ConnectionOptions connection_options_for(
+      TrafficClass traffic_class) const;
+  http::HttpResponse make_local_response(int status, std::string_view body);
+
+  sim::Simulator& sim_;
+  cluster::Pod& pod_;
+  Tracer& tracer_;
+  TelemetrySink* telemetry_;
+  SidecarConfig config_;
+  FilterChain inbound_chain_;
+  FilterChain outbound_chain_;
+  SidecarStats stats_;
+
+  std::uint64_t next_session_id_ = 1;
+  std::map<std::uint64_t, std::unique_ptr<ServerSession>> sessions_;
+  std::map<PoolKey, std::unique_ptr<HttpClientPool>> pools_;
+  std::unique_ptr<HttpClientPool> app_pool_;
+  std::map<std::string, std::unique_ptr<LoadBalancer>> balancers_;
+  std::map<std::string, std::uint64_t> active_per_endpoint_;
+  std::map<std::string, CircuitBreaker> breakers_;
+  sim::RngStream overhead_rng_;
+  bool started_ = false;
+};
+
+}  // namespace meshnet::mesh

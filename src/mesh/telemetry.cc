@@ -1,0 +1,43 @@
+#include "mesh/telemetry.h"
+
+namespace meshnet::mesh {
+
+void TelemetrySink::record_request(const std::string& source_service,
+                                   const std::string& upstream_cluster,
+                                   int status, sim::Duration latency,
+                                   int retries) {
+  EdgeMetrics& edge = edges_[{source_service, upstream_cluster}];
+  ++edge.requests;
+  ++total_requests_;
+  if (status >= 500 || status <= 0) {
+    ++edge.failures;
+    ++total_failures_;
+  }
+  edge.retries += static_cast<std::uint64_t>(retries < 0 ? 0 : retries);
+  if (latency > 0) {
+    edge.latency.record(static_cast<std::uint64_t>(latency));
+  }
+}
+
+const EdgeMetrics* TelemetrySink::edge(
+    const std::string& source_service,
+    const std::string& upstream_cluster) const {
+  const auto it = edges_.find({source_service, upstream_cluster});
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> TelemetrySink::edges()
+    const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(edges_.size());
+  for (const auto& [key, metrics] : edges_) out.push_back(key);
+  return out;
+}
+
+void TelemetrySink::clear() {
+  edges_.clear();
+  total_requests_ = 0;
+  total_failures_ = 0;
+}
+
+}  // namespace meshnet::mesh

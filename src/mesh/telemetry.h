@@ -1,0 +1,50 @@
+#pragma once
+
+// Mesh telemetry: the metric-collection function of the control plane
+// (paper §2, Fig. 1 "metric collection"). Sidecars report every proxied
+// request; the sink aggregates per (source service -> upstream cluster)
+// edge, which is enough to reconstruct the service call graph — the
+// paper's "better visibility" in its simplest form.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/histogram.h"
+#include "sim/time.h"
+
+namespace meshnet::mesh {
+
+struct EdgeMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t failures = 0;  ///< 5xx or transport errors
+  std::uint64_t retries = 0;
+  stats::LogHistogram latency{7};  ///< nanoseconds
+};
+
+class TelemetrySink {
+ public:
+  void record_request(const std::string& source_service,
+                      const std::string& upstream_cluster, int status,
+                      sim::Duration latency, int retries);
+
+  /// Aggregated metrics for one edge; nullptr if never seen.
+  const EdgeMetrics* edge(const std::string& source_service,
+                          const std::string& upstream_cluster) const;
+
+  /// All (source, upstream) edges, sorted.
+  std::vector<std::pair<std::string, std::string>> edges() const;
+
+  std::uint64_t total_requests() const noexcept { return total_requests_; }
+  std::uint64_t total_failures() const noexcept { return total_failures_; }
+
+  void clear();
+
+ private:
+  std::map<std::pair<std::string, std::string>, EdgeMetrics> edges_;
+  std::uint64_t total_requests_ = 0;
+  std::uint64_t total_failures_ = 0;
+};
+
+}  // namespace meshnet::mesh

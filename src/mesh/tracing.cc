@@ -1,0 +1,69 @@
+#include "mesh/tracing.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace meshnet::mesh {
+
+TraceContext TraceContext::extract(const http::HeaderMap& headers) {
+  TraceContext ctx;
+  ctx.trace_id = headers.get_or(http::headers::kTraceId, "");
+  ctx.span_id = headers.get_or(http::headers::kSpanId, "");
+  return ctx;
+}
+
+void TraceContext::inject(http::HeaderMap& headers,
+                          const std::string& parent_span_id) const {
+  headers.set(http::headers::kTraceId, trace_id);
+  headers.set(http::headers::kSpanId, span_id);
+  if (!parent_span_id.empty()) {
+    headers.set(http::headers::kParentSpanId, parent_span_id);
+  }
+}
+
+std::string Tracer::next_id(std::string_view prefix) {
+  ++counter_;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*s-%016llx",
+                static_cast<int>(prefix.size()), prefix.data(),
+                static_cast<unsigned long long>(counter_));
+  return buf;
+}
+
+Span Tracer::start_span(const std::string& service,
+                        const std::string& operation,
+                        const TraceContext& parent, sim::Time now) {
+  Span span;
+  span.trace_id = parent.valid() ? parent.trace_id : next_id("trace");
+  span.parent_span_id = parent.valid() ? parent.span_id : "";
+  span.span_id = next_id("span");
+  span.service = service;
+  span.operation = operation;
+  span.start = now;
+  return span;
+}
+
+void Tracer::finish_span(Span span, sim::Time now) {
+  if (retention_ == 0) return;
+  span.end = now;
+  finished_.push_back(std::move(span));
+  if (finished_.size() > retention_) {
+    finished_.erase(finished_.begin(),
+                    finished_.begin() +
+                        static_cast<std::ptrdiff_t>(finished_.size() -
+                                                    retention_));
+  }
+}
+
+std::vector<const Span*> Tracer::trace(const std::string& trace_id) const {
+  std::vector<const Span*> out;
+  for (const Span& span : finished_) {
+    if (span.trace_id == trace_id) out.push_back(&span);
+  }
+  std::sort(out.begin(), out.end(), [](const Span* a, const Span* b) {
+    return a->start < b->start;
+  });
+  return out;
+}
+
+}  // namespace meshnet::mesh

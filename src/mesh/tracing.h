@@ -1,0 +1,77 @@
+#pragma once
+
+// Distributed tracing (paper §3.2 "better visibility").
+//
+// Sidecars create a span per request hop and propagate trace context via
+// B3-style headers. The app runtime copies x-request-id and the b3 headers
+// onto the sub-requests it spawns — exactly the cooperation Istio's
+// bookinfo app performs — which is also what lets the provenance filter
+// (core/) tie sub-requests back to the inbound request that caused them.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "http/header_map.h"
+#include "sim/time.h"
+
+namespace meshnet::mesh {
+
+struct Span {
+  std::string trace_id;
+  std::string span_id;
+  std::string parent_span_id;
+  std::string service;
+  std::string operation;
+  sim::Time start = 0;
+  sim::Time end = 0;
+  bool error = false;
+
+  sim::Duration duration() const noexcept { return end - start; }
+};
+
+/// Span context carried in HTTP headers.
+struct TraceContext {
+  std::string trace_id;
+  std::string span_id;
+
+  bool valid() const noexcept { return !trace_id.empty(); }
+
+  static TraceContext extract(const http::HeaderMap& headers);
+  void inject(http::HeaderMap& headers,
+              const std::string& parent_span_id) const;
+};
+
+/// Collects finished spans. One tracer is shared mesh-wide (it stands in
+/// for the Jaeger/Zipkin backend the control plane would export to).
+class Tracer {
+ public:
+  /// Starts a span; `parent` may be invalid (root span), in which case a
+  /// fresh trace id is allocated.
+  Span start_span(const std::string& service, const std::string& operation,
+                  const TraceContext& parent, sim::Time now);
+
+  void finish_span(Span span, sim::Time now);
+
+  const std::vector<Span>& spans() const noexcept { return finished_; }
+  std::size_t span_count() const noexcept { return finished_.size(); }
+
+  /// All spans belonging to one trace, in start order.
+  std::vector<const Span*> trace(const std::string& trace_id) const;
+
+  /// Keep only the most recent `limit` spans (memory bound for long runs);
+  /// 0 disables collection entirely (benches).
+  void set_retention(std::size_t limit) noexcept { retention_ = limit; }
+
+  void clear() { finished_.clear(); }
+
+ private:
+  std::string next_id(std::string_view prefix);
+
+  std::uint64_t counter_ = 0;
+  std::size_t retention_ = SIZE_MAX;
+  std::vector<Span> finished_;
+};
+
+}  // namespace meshnet::mesh

@@ -1,0 +1,37 @@
+#include "net/address.h"
+
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace meshnet::net {
+
+std::string ip_to_string(IpAddress ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", (ip >> 24) & 0xff,
+                (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff);
+  return buf;
+}
+
+IpAddress parse_ip(const std::string& text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return kNoAddress;
+  IpAddress ip = 0;
+  for (const auto part : parts) {
+    const auto v = util::parse_u64(part);
+    if (!v || *v > 255) return kNoAddress;
+    ip = (ip << 8) | static_cast<IpAddress>(*v);
+  }
+  return ip;
+}
+
+std::string SocketAddress::to_string() const {
+  return ip_to_string(ip) + ":" + std::to_string(port);
+}
+
+std::string FlowKey::to_string() const {
+  return ip_to_string(src_ip) + ":" + std::to_string(src_port) + "->" +
+         ip_to_string(dst_ip) + ":" + std::to_string(dst_port);
+}
+
+}  // namespace meshnet::net

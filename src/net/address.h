@@ -1,0 +1,65 @@
+#pragma once
+
+// IPv4-style addressing for the simulated fabric. Addresses are plain
+// uint32 values with dotted-quad pretty printing; the cluster substrate
+// allocates them from per-node pod subnets the way Kubernetes CNIs do.
+
+#include <cstdint>
+#include <string>
+
+namespace meshnet::net {
+
+/// An IPv4 address in host byte order.
+using IpAddress = std::uint32_t;
+
+/// A transport port.
+using Port = std::uint16_t;
+
+constexpr IpAddress kNoAddress = 0;
+
+constexpr IpAddress make_ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                            std::uint8_t d) noexcept {
+  return (static_cast<IpAddress>(a) << 24) | (static_cast<IpAddress>(b) << 16) |
+         (static_cast<IpAddress>(c) << 8) | static_cast<IpAddress>(d);
+}
+
+std::string ip_to_string(IpAddress ip);
+
+/// Parses "a.b.c.d"; returns kNoAddress on malformed input.
+IpAddress parse_ip(const std::string& text);
+
+/// A (host, port) endpoint.
+struct SocketAddress {
+  IpAddress ip = kNoAddress;
+  Port port = 0;
+
+  friend bool operator==(const SocketAddress&, const SocketAddress&) = default;
+  std::string to_string() const;
+};
+
+/// An ordered connection 4-tuple, used as a demux key.
+struct FlowKey {
+  IpAddress src_ip = kNoAddress;
+  Port src_port = 0;
+  IpAddress dst_ip = kNoAddress;
+  Port dst_port = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+
+  FlowKey reversed() const noexcept {
+    return FlowKey{dst_ip, dst_port, src_ip, src_port};
+  }
+  std::string to_string() const;
+};
+
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const noexcept {
+    std::uint64_t h = (static_cast<std::uint64_t>(k.src_ip) << 32) | k.dst_ip;
+    h ^= (static_cast<std::uint64_t>(k.src_port) << 16) | k.dst_port;
+    h *= 0x9e3779b97f4a7c15ULL;
+    h ^= h >> 32;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace meshnet::net

@@ -1,0 +1,71 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace meshnet::net {
+
+Link::Link(sim::Simulator& sim, std::string name, double rate_bits_per_second,
+           sim::Duration propagation_delay, std::unique_ptr<Qdisc> qdisc)
+    : sim_(sim),
+      name_(std::move(name)),
+      rate_bps_(rate_bits_per_second),
+      prop_delay_(propagation_delay),
+      qdisc_(std::move(qdisc)) {}
+
+void Link::send(Packet packet) {
+  if (!qdisc_->enqueue(std::move(packet), sim_.now())) {
+    MESHNET_DEBUG() << "link " << name_ << ": qdisc drop";
+  }
+  try_transmit();
+}
+
+void Link::set_qdisc(std::unique_ptr<Qdisc> qdisc) {
+  qdisc_ = std::move(qdisc);
+}
+
+double Link::utilization(sim::Time now) const noexcept {
+  if (now <= 0) return 0.0;
+  return static_cast<double>(stats_.busy_time) / static_cast<double>(now);
+}
+
+void Link::try_transmit() {
+  if (transmitting_) return;
+  if (pending_retry_ != sim::kInvalidEventId) {
+    sim_.cancel(pending_retry_);
+    pending_retry_ = sim::kInvalidEventId;
+  }
+  auto packet = qdisc_->dequeue(sim_.now());
+  if (!packet) {
+    // A shaper may hold packets back even though the transmitter is idle;
+    // come back when the qdisc says a packet could be eligible.
+    if (const auto ready = qdisc_->next_ready(sim_.now())) {
+      // Guard against zero-progress spins: a qdisc that says "ready now"
+      // but dequeues nothing must be retried strictly later.
+      const sim::Time when = std::max(*ready, sim_.now() + 1);
+      pending_retry_ = sim_.schedule_at(when, [this] {
+        pending_retry_ = sim::kInvalidEventId;
+        try_transmit();
+      });
+    }
+    return;
+  }
+  transmitting_ = true;
+  const sim::Duration tx_time =
+      sim::transmission_time(packet->size_bytes(), rate_bps_);
+  stats_.busy_time += tx_time;
+  // Serialization finishes after tx_time; the bits arrive prop_delay later.
+  sim_.schedule_after(tx_time, [this, p = std::move(*packet)]() mutable {
+    transmitting_ = false;
+    stats_.delivered_packets += 1;
+    stats_.delivered_bytes += p.size_bytes();
+    sim_.schedule_after(prop_delay_, [this, p = std::move(p)]() mutable {
+      if (sink_) sink_(std::move(p));
+    });
+    try_transmit();
+  });
+}
+
+}  // namespace meshnet::net

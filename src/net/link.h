@@ -1,0 +1,71 @@
+#pragma once
+
+// A unidirectional link: qdisc + serialization at a fixed rate +
+// propagation delay. The device loop pulls from the qdisc whenever the
+// transmitter goes idle, so the qdisc's scheduling decision (FIFO vs
+// priority) is what determines who gets the next transmission slot —
+// exactly where the paper's TC-based prioritization acts.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/packet.h"
+#include "net/qdisc.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace meshnet::net {
+
+struct LinkStats {
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t delivered_bytes = 0;
+  sim::Duration busy_time = 0;  ///< Total transmission time so far.
+};
+
+class Link {
+ public:
+  /// `sink` receives each packet after serialization + propagation.
+  Link(sim::Simulator& sim, std::string name, double rate_bits_per_second,
+       sim::Duration propagation_delay, std::unique_ptr<Qdisc> qdisc);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  void set_sink(std::function<void(Packet)> sink) { sink_ = std::move(sink); }
+
+  /// Enqueues the packet; it is dropped silently if the qdisc is full
+  /// (the transport's loss recovery handles it).
+  void send(Packet packet);
+
+  /// Swaps the queueing discipline (models `tc qdisc replace`). Any
+  /// backlogged packets in the old qdisc are dropped, as with real tc.
+  void set_qdisc(std::unique_ptr<Qdisc> qdisc);
+
+  Qdisc& qdisc() noexcept { return *qdisc_; }
+  const Qdisc& qdisc() const noexcept { return *qdisc_; }
+
+  const std::string& name() const noexcept { return name_; }
+  double rate_bps() const noexcept { return rate_bps_; }
+  sim::Duration propagation_delay() const noexcept { return prop_delay_; }
+  const LinkStats& stats() const noexcept { return stats_; }
+
+  /// Fraction of wall-clock sim time this link has spent transmitting.
+  double utilization(sim::Time now) const noexcept;
+
+ private:
+  void try_transmit();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  double rate_bps_;
+  sim::Duration prop_delay_;
+  std::unique_ptr<Qdisc> qdisc_;
+  std::function<void(Packet)> sink_;
+  bool transmitting_ = false;
+  sim::EventId pending_retry_ = sim::kInvalidEventId;
+  LinkStats stats_;
+};
+
+}  // namespace meshnet::net

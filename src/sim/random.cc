@@ -1,0 +1,47 @@
+#include "sim/random.h"
+
+namespace meshnet::sim {
+
+namespace {
+std::uint64_t fnv1a_mix(std::uint64_t seed, std::string_view name) {
+  std::uint64_t h = 14695981039346656037ULL ^ seed;
+  for (const char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ULL;
+  }
+  // Finalize (splitmix64) so nearby seeds diverge.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+}  // namespace
+
+RngStream::RngStream(std::uint64_t run_seed, std::string_view name)
+    : engine_(fnv1a_mix(run_seed, name)) {}
+
+double RngStream::uniform() {
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+}
+
+double RngStream::uniform(double lo, double hi) {
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::uint64_t RngStream::uniform_int(std::uint64_t lo, std::uint64_t hi) {
+  return std::uniform_int_distribution<std::uint64_t>(lo, hi)(engine_);
+}
+
+double RngStream::exponential(double mean) {
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+bool RngStream::bernoulli(double p) {
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::uint64_t RngStream::next_u64() { return engine_(); }
+
+}  // namespace meshnet::sim

@@ -1,0 +1,45 @@
+#pragma once
+
+// Named, independently seeded PRNG streams.
+//
+// Each logical source of randomness (one workload's inter-arrival times,
+// one load balancer's choices, ...) takes its own stream, derived from a
+// run-level seed plus the stream name. Adding a new consumer of randomness
+// therefore never perturbs the draws seen by existing consumers, which
+// keeps A/B experiment pairs (e.g. with/without cross-layer optimization)
+// comparable.
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace meshnet::sim {
+
+class RngStream {
+ public:
+  /// Derives the stream's seed from (run_seed, name) via FNV-1a mixing.
+  RngStream(std::uint64_t run_seed, std::string_view name);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi);
+
+  /// Exponential with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli draw with probability `p` of true.
+  bool bernoulli(double p);
+
+  /// Raw 64-bit draw.
+  std::uint64_t next_u64();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace meshnet::sim

@@ -1,0 +1,63 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace meshnet::sim {
+
+EventId Simulator::schedule_at(Time when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  const EventId id = next_seq_;
+  queue_.push(Event{when, next_seq_, id, std::move(fn)});
+  ++next_seq_;
+  return id;
+}
+
+EventId Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_seq_) return false;
+  // We cannot remove from the middle of the heap; remember the id and skip
+  // the event when it surfaces.
+  return cancelled_.insert(id).second;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.when > deadline) {
+      now_ = deadline;
+      return;
+    }
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (const auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+}  // namespace meshnet::sim

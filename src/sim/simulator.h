@@ -1,0 +1,86 @@
+#pragma once
+
+// Deterministic single-threaded discrete-event simulator.
+//
+// Components schedule callbacks at absolute or relative simulated times.
+// Events at the same timestamp run in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes runs bit-for-bit
+// reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace meshnet::sim {
+
+/// Identifies a scheduled event so it can be cancelled (timers).
+using EventId = std::uint64_t;
+constexpr EventId kInvalidEventId = 0;
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const noexcept { return now_; }
+
+  /// Schedules `fn` to run at absolute time `when` (clamped to now()).
+  EventId schedule_at(Time when, std::function<void()> fn);
+
+  /// Schedules `fn` to run `delay` after now() (negative delays are
+  /// clamped to zero).
+  EventId schedule_after(Duration delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Safe to call with an id that already fired
+  /// or was already cancelled (no-op). Returns true if the event was
+  /// pending and is now cancelled.
+  bool cancel(EventId id);
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs until simulated time strictly exceeds `deadline` or the queue
+  /// drains. The clock is left at min(deadline, last event time).
+  void run_until(Time deadline);
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  /// Number of events executed so far (for diagnostics and tests).
+  std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Number of events currently pending.
+  std::size_t pending_events() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    Time when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace meshnet::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Simulated time. All simulator clocks are nanoseconds since the start of
+// the run, held in a signed 64-bit integer (plenty for ~292 years of
+// simulated time). Plain integers keep the event loop allocation-free and
+// trivially comparable; the helpers below give call sites readable units.
+
+#include <cstdint>
+
+namespace meshnet::sim {
+
+/// Nanoseconds since simulation start.
+using Time = std::int64_t;
+
+/// A span of simulated time, in nanoseconds.
+using Duration = std::int64_t;
+
+constexpr Duration kNanosecond = 1;
+constexpr Duration kMicrosecond = 1'000;
+constexpr Duration kMillisecond = 1'000'000;
+constexpr Duration kSecond = 1'000'000'000;
+
+constexpr Duration nanoseconds(std::int64_t n) noexcept { return n; }
+constexpr Duration microseconds(std::int64_t n) noexcept {
+  return n * kMicrosecond;
+}
+constexpr Duration milliseconds(std::int64_t n) noexcept {
+  return n * kMillisecond;
+}
+constexpr Duration seconds(std::int64_t n) noexcept { return n * kSecond; }
+
+/// Fractional-seconds constructor for rate math (e.g. 0.0015 s).
+/// Saturates instead of overflowing so degenerate rates (a shaper with an
+/// epsilon rate computing a centuries-long wait) stay well-defined.
+constexpr Duration from_seconds(double s) noexcept {
+  const double ns = s * static_cast<double>(kSecond);
+  if (ns >= 9.2e18) return INT64_MAX;
+  if (ns <= -9.2e18) return INT64_MIN;
+  return static_cast<Duration>(ns);
+}
+
+constexpr double to_seconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr double to_milliseconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+constexpr double to_microseconds(Duration d) noexcept {
+  return static_cast<double>(d) / static_cast<double>(kMicrosecond);
+}
+
+/// Time a given number of bytes occupies on a link of `bits_per_second`.
+constexpr Duration transmission_time(std::uint64_t bytes,
+                                     double bits_per_second) noexcept {
+  return static_cast<Duration>(static_cast<double>(bytes) * 8.0 /
+                               bits_per_second *
+                               static_cast<double>(kSecond));
+}
+
+}  // namespace meshnet::sim

@@ -1,0 +1,34 @@
+#pragma once
+
+// Streaming mean/variance/min/max (Welford's algorithm). Used for counters
+// where full histograms would be overkill (queue depths, window sizes).
+
+#include <cstdint>
+
+namespace meshnet::stats {
+
+class RunningStats {
+ public:
+  void record(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ == 0 ? 0.0 : mean_; }
+  double variance() const noexcept;  ///< Sample variance; 0 for n < 2.
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max() const noexcept { return count_ == 0 ? 0.0 : max_; }
+  double sum() const noexcept { return sum_; }
+
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace meshnet::stats

@@ -1,0 +1,36 @@
+#pragma once
+
+// Fixed-width text tables for bench output. Every bench binary prints the
+// rows/series the paper reports through this printer so the output format
+// stays uniform and greppable.
+
+#include <string>
+#include <vector>
+
+namespace meshnet::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds one row; missing cells render empty, extras are dropped.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders with aligned columns, a header underline, and a trailing
+  /// newline.
+  std::string to_string() const;
+
+  /// Renders as comma-separated values (for plotting scripts).
+  std::string to_csv() const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace meshnet::stats

@@ -1,0 +1,41 @@
+#pragma once
+
+// Tiny command-line flag parser used by the examples and bench binaries.
+//
+// Supports "--name=value", "--name value", and boolean "--name". Unknown
+// flags are collected so callers can decide whether to reject them (bench
+// binaries must tolerate google-benchmark's own flags).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace meshnet::util {
+
+class Flags {
+ public:
+  /// Parses argv (excluding argv[0]). Later duplicates override earlier ones.
+  static Flags parse(int argc, const char* const* argv);
+
+  bool has(std::string_view name) const;
+
+  /// Returns the raw string value, or nullopt when absent.
+  std::optional<std::string> get(std::string_view name) const;
+
+  std::string get_or(std::string_view name, std::string_view fallback) const;
+  std::int64_t get_int_or(std::string_view name, std::int64_t fallback) const;
+  double get_double_or(std::string_view name, double fallback) const;
+  bool get_bool_or(std::string_view name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace meshnet::util

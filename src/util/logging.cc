@@ -1,0 +1,58 @@
+#include "util/logging.h"
+
+namespace meshnet::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}  // namespace
+
+LogLevel log_level() noexcept { return g_level; }
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+
+LogLevel parse_log_level(std::string_view text) noexcept {
+  if (text == "trace") return LogLevel::kTrace;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "error") return LogLevel::kError;
+  if (text == "off") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+std::string_view log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, std::string_view file, int line) {
+  // Trim the path down to the basename for readability.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  stream_ << "[" << log_level_name(level) << " " << file << ":" << line
+          << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << '\n';
+  std::cerr << stream_.str();
+}
+
+}  // namespace detail
+
+}  // namespace meshnet::util

@@ -1,0 +1,71 @@
+#pragma once
+
+// Lightweight leveled logging for the meshnet library.
+//
+// The simulator is single-threaded, so the logger keeps no locks. Log lines
+// are written to stderr so bench/table output on stdout stays machine-
+// parseable. The active level is a process-wide setting; the default (kWarn)
+// keeps test and bench output quiet.
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace meshnet::util {
+
+enum class LogLevel : std::uint8_t {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Returns the process-wide minimum level that will be emitted.
+LogLevel log_level() noexcept;
+
+/// Sets the process-wide minimum level. Not thread-safe (the simulator is
+/// single-threaded by design).
+void set_log_level(LogLevel level) noexcept;
+
+/// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; returns kWarn on
+/// unrecognized input.
+LogLevel parse_log_level(std::string_view text) noexcept;
+
+std::string_view log_level_name(LogLevel level) noexcept;
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string_view file, int line);
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace meshnet::util
+
+#define MESHNET_LOG(level)                                            \
+  if (::meshnet::util::log_level() <= (level))                        \
+  ::meshnet::util::detail::LogLine((level), __FILE__, __LINE__)
+
+#define MESHNET_TRACE() MESHNET_LOG(::meshnet::util::LogLevel::kTrace)
+#define MESHNET_DEBUG() MESHNET_LOG(::meshnet::util::LogLevel::kDebug)
+#define MESHNET_INFO() MESHNET_LOG(::meshnet::util::LogLevel::kInfo)
+#define MESHNET_WARN() MESHNET_LOG(::meshnet::util::LogLevel::kWarn)
+#define MESHNET_ERROR() MESHNET_LOG(::meshnet::util::LogLevel::kError)

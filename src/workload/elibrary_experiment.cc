@@ -1,0 +1,126 @@
+#include "workload/elibrary_experiment.h"
+
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace meshnet::workload {
+
+core::CrossLayerConfig
+ElibraryExperimentConfig::default_cross_layer_config() {
+  core::CrossLayerConfig config;
+  config.classifier.rules = {
+      core::ClassificationRule{std::string(app::Elibrary::kLsPathPrefix),
+                               "", "", "",
+                               mesh::TrafficClass::kLatencySensitive},
+      core::ClassificationRule{std::string(app::Elibrary::kLiPathPrefix),
+                               "", "", "",
+                               mesh::TrafficClass::kScavenger},
+  };
+  config.classifier.default_class = mesh::TrafficClass::kLatencySensitive;
+  config.priority_routed_clusters = {"reviews"};
+  return config;
+}
+
+ElibraryExperimentResult run_elibrary_experiment(
+    const ElibraryExperimentConfig& config) {
+  http::reset_request_id_counter();
+  sim::Simulator sim;
+  app::Elibrary app(sim, config.app);
+  // Spans are a per-request memory cost; retain none during load runs.
+  app.control_plane().tracer().set_retention(0);
+
+  std::unique_ptr<core::CrossLayerController> cross_layer;
+  if (config.cross_layer) {
+    cross_layer = std::make_unique<core::CrossLayerController>(
+        app.control_plane(), app.cluster(), config.cross_layer_config);
+    cross_layer->install();
+    if (config.sdn_out_of_band) {
+      cross_layer->sdn().program_link(app.bottleneck_link(),
+                                      config.cross_layer_config.high_share);
+    }
+  }
+
+  // The external client (wrk2's stand-in) connects straight to the
+  // gateway with a generously sized pool so the client itself never
+  // bottlenecks the open loop.
+  mesh::HttpClientPool::Options client_options;
+  client_options.max_connections = 2048;
+  client_options.connection.mss = config.app.policies.transport_mss;
+  mesh::HttpClientPool client(sim, app.client_pod().transport(),
+                              app.gateway_address(), client_options,
+                              "wrk2-client");
+
+  const sim::Time measure_start = config.warmup;
+  const sim::Time measure_end = config.warmup + config.duration;
+  const sim::Time traffic_end = measure_end + config.cooldown;
+
+  WorkloadSpec ls;
+  ls.name = "latency-sensitive";
+  ls.rps = config.ls_rps;
+  ls.arrival = config.arrival;
+  ls.make_request = simple_get_factory(
+      "frontend", std::string(app::Elibrary::kLsPathPrefix));
+  ls.start = 0;
+  ls.end = traffic_end;
+  ls.measure_start = measure_start;
+  ls.measure_end = measure_end;
+
+  WorkloadSpec li = ls;
+  li.name = "latency-insensitive";
+  li.rps = config.li_rps;
+  li.make_request = simple_get_factory(
+      "frontend", std::string(app::Elibrary::kLiPathPrefix));
+
+  OpenLoopGenerator ls_gen(sim, client, ls, config.seed);
+  OpenLoopGenerator li_gen(sim, client, li, config.seed + 1);
+  ls_gen.start();
+  li_gen.start();
+
+  // Snapshot the bottleneck's busy time at the measurement boundaries so
+  // utilization reflects the measured window, not the drain period.
+  sim::Duration busy_at_start = 0;
+  sim::Duration busy_at_end = 0;
+  sim.schedule_at(measure_start, [&] {
+    busy_at_start = app.bottleneck_link().stats().busy_time;
+  });
+  sim.schedule_at(measure_end, [&] {
+    busy_at_end = app.bottleneck_link().stats().busy_time;
+  });
+
+  // Run past the last arrival so in-flight responses drain.
+  sim.run_until(traffic_end + sim::seconds(30));
+
+  auto summarize = [](const OpenLoopGenerator& gen) {
+    WorkloadSummary s;
+    const LatencyRecorder& rec = gen.recorder();
+    s.completed = rec.count();
+    s.errors = rec.errors();
+    s.achieved_rps = rec.throughput_rps();
+    s.p50_ms = rec.p50_ms();
+    s.p90_ms = rec.p90_ms();
+    s.p99_ms = rec.p99_ms();
+    s.mean_ms = rec.mean_ms();
+    return s;
+  };
+
+  ElibraryExperimentResult result;
+  result.ls = summarize(ls_gen);
+  result.li = summarize(li_gen);
+
+  net::Link& bottleneck = app.bottleneck_link();
+  result.bottleneck_utilization =
+      static_cast<double>(busy_at_end - busy_at_start) /
+      static_cast<double>(measure_end - measure_start);
+  result.bottleneck_drops = bottleneck.qdisc().stats().dropped_packets;
+  if (const auto* wp = dynamic_cast<const net::WeightedPrioQdisc*>(
+          &bottleneck.qdisc())) {
+    result.high_band_bytes = wp->band_dequeued_bytes(0);
+    result.low_band_bytes = wp->band_dequeued_bytes(1);
+  }
+  result.events_executed = sim.events_executed();
+  result.spans_recorded = app.control_plane().tracer().span_count();
+  return result;
+}
+
+}  // namespace meshnet::workload

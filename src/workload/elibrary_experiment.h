@@ -1,0 +1,71 @@
+#pragma once
+
+// The paper's experiment in a function (§4.3 setup): the e-library app, a
+// latency-sensitive and a latency-insensitive workload hitting the ingress
+// gateway simultaneously with uniformly random inter-arrivals, with or
+// without cross-layer prioritization. Every bench that reproduces a
+// figure/table row calls run_elibrary_experiment() with the matching
+// parameters.
+
+#include <cstdint>
+#include <string>
+
+#include "app/elibrary.h"
+#include "core/cross_layer.h"
+#include "workload/generator.h"
+
+namespace meshnet::workload {
+
+struct ElibraryExperimentConfig {
+  /// Offered load per workload (the paper sweeps 10..50).
+  double ls_rps = 30.0;
+  double li_rps = 30.0;
+
+  sim::Duration warmup = sim::seconds(4);
+  sim::Duration duration = sim::seconds(20);   ///< measured window
+  sim::Duration cooldown = sim::seconds(4);
+  std::uint64_t seed = 42;
+
+  ArrivalProcess arrival = ArrivalProcess::kUniformRandom;
+
+  bool cross_layer = false;
+  core::CrossLayerConfig cross_layer_config = default_cross_layer_config();
+
+  /// Optimization (d) out-of-band variant: program the bottleneck link's
+  /// scheduler through the SDN coordinator (which learns flow priorities
+  /// from the sidecars' advertisements) instead of relying on in-band
+  /// marks or dst-IP TC rules. Requires cross_layer.
+  bool sdn_out_of_band = false;
+
+  app::ElibraryOptions app;
+
+  /// The paper's classification: user page loads are high priority,
+  /// analytics scans low, with priority-routed reviews replicas.
+  static core::CrossLayerConfig default_cross_layer_config();
+};
+
+struct WorkloadSummary {
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  double achieved_rps = 0.0;
+  double p50_ms = 0.0;
+  double p90_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+struct ElibraryExperimentResult {
+  WorkloadSummary ls;
+  WorkloadSummary li;
+  double bottleneck_utilization = 0.0;
+  std::uint64_t bottleneck_drops = 0;
+  std::uint64_t high_band_bytes = 0;  ///< dequeued from the priority band
+  std::uint64_t low_band_bytes = 0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t spans_recorded = 0;
+};
+
+ElibraryExperimentResult run_elibrary_experiment(
+    const ElibraryExperimentConfig& config);
+
+}  // namespace meshnet::workload

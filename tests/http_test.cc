@@ -1,0 +1,315 @@
+// Tests for the HTTP message model and wire codec.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "http/codec.h"
+#include "http/header_map.h"
+#include "http/message.h"
+
+namespace meshnet::http {
+namespace {
+
+TEST(HeaderMap, SetAndGet) {
+  HeaderMap map;
+  map.set("Host", "frontend");
+  EXPECT_EQ(map.get("host").value_or(""), "frontend");
+  EXPECT_EQ(map.get("HOST").value_or(""), "frontend");
+  EXPECT_FALSE(map.get("missing").has_value());
+}
+
+TEST(HeaderMap, NamesStoredLowercase) {
+  HeaderMap map;
+  map.set("X-Request-ID", "abc");
+  EXPECT_EQ(map.entries()[0].first, "x-request-id");
+}
+
+TEST(HeaderMap, SetReplacesAllValues) {
+  HeaderMap map;
+  map.add("k", "1");
+  map.add("k", "2");
+  map.set("K", "3");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.get("k").value_or(""), "3");
+}
+
+TEST(HeaderMap, AddKeepsDuplicates) {
+  HeaderMap map;
+  map.add("accept", "a");
+  map.add("accept", "b");
+  EXPECT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.get("accept").value_or(""), "a");  // first wins
+}
+
+TEST(HeaderMap, RemoveReturnsCount) {
+  HeaderMap map;
+  map.add("x", "1");
+  map.add("x", "2");
+  map.add("y", "3");
+  EXPECT_EQ(map.remove("X"), 2u);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.remove("x"), 0u);
+}
+
+TEST(HeaderMap, GetOrFallback) {
+  HeaderMap map;
+  EXPECT_EQ(map.get_or("a", "dflt"), "dflt");
+  map.set("a", "v");
+  EXPECT_EQ(map.get_or("a", "dflt"), "v");
+}
+
+TEST(HeaderMap, PreservesInsertionOrder) {
+  HeaderMap map;
+  map.add("c", "3");
+  map.add("a", "1");
+  map.add("b", "2");
+  EXPECT_EQ(map.entries()[0].first, "c");
+  EXPECT_EQ(map.entries()[1].first, "a");
+  EXPECT_EQ(map.entries()[2].first, "b");
+}
+
+TEST(Message, RequestIdAccessors) {
+  HttpRequest req;
+  EXPECT_EQ(req.request_id(), "");
+  req.set_request_id("req-1");
+  EXPECT_EQ(req.request_id(), "req-1");
+  EXPECT_EQ(req.headers.get_or(headers::kRequestId, ""), "req-1");
+}
+
+TEST(Message, GenerateRequestIdIsUnique) {
+  reset_request_id_counter();
+  const std::string a = generate_request_id();
+  const std::string b = generate_request_id();
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.rfind("req-", 0), 0u);
+}
+
+TEST(Message, ResetRequestIdCounterRepeats) {
+  reset_request_id_counter();
+  const std::string a = generate_request_id();
+  reset_request_id_counter();
+  EXPECT_EQ(generate_request_id(), a);
+}
+
+TEST(Message, StatusText) {
+  EXPECT_EQ(status_text(200), "OK");
+  EXPECT_EQ(status_text(503), "Service Unavailable");
+  EXPECT_EQ(status_text(418), "Unknown");
+  EXPECT_TRUE(HttpResponse{204}.ok());
+  EXPECT_FALSE(HttpResponse{500}.ok());
+}
+
+TEST(Codec, SerializeRequestBasics) {
+  HttpRequest req;
+  req.method = "POST";
+  req.path = "/submit";
+  req.headers.set("host", "svc");
+  req.body = "hello";
+  const std::string wire = serialize_request(req);
+  EXPECT_EQ(wire.rfind("POST /submit HTTP/1.1\r\n", 0), 0u);
+  EXPECT_NE(wire.find("host: svc\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("content-length: 5\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "hello");
+}
+
+TEST(Codec, SerializeResponseBasics) {
+  HttpResponse resp;
+  resp.status = 404;
+  resp.body = "nope";
+  const std::string wire = serialize_response(resp);
+  EXPECT_EQ(wire.rfind("HTTP/1.1 404 Not Found\r\n", 0), 0u);
+  EXPECT_NE(wire.find("content-length: 4\r\n"), std::string::npos);
+}
+
+TEST(Codec, ContentLengthAlwaysAccurate) {
+  HttpRequest req;
+  req.headers.set("content-length", "999");  // stale; must be replaced
+  req.body = "abc";
+  const std::string wire = serialize_request(req);
+  EXPECT_NE(wire.find("content-length: 3\r\n"), std::string::npos);
+  EXPECT_EQ(wire.find("999"), std::string::npos);
+}
+
+HttpRequest parse_one_request(const std::string& wire) {
+  HttpParser parser(ParserKind::kRequest);
+  HttpRequest out;
+  parser.set_on_request([&](HttpRequest r) { out = std::move(r); });
+  EXPECT_TRUE(parser.feed(wire));
+  EXPECT_EQ(parser.messages_parsed(), 1u);
+  return out;
+}
+
+TEST(Codec, RequestRoundTrip) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/product/7";
+  req.headers.set("host", "frontend");
+  req.headers.set("x-mesh-priority", "high");
+  req.body = "payload-bytes";
+  const HttpRequest parsed = parse_one_request(serialize_request(req));
+  EXPECT_EQ(parsed.method, "GET");
+  EXPECT_EQ(parsed.path, "/product/7");
+  EXPECT_EQ(parsed.headers.get_or("host", ""), "frontend");
+  EXPECT_EQ(parsed.headers.get_or("x-mesh-priority", ""), "high");
+  EXPECT_EQ(parsed.body, "payload-bytes");
+}
+
+TEST(Codec, ResponseRoundTrip) {
+  HttpResponse resp;
+  resp.status = 503;
+  resp.headers.set("x-served-by", "sidecar");
+  resp.body = std::string(10000, 'z');
+  HttpParser parser(ParserKind::kResponse);
+  HttpResponse out;
+  parser.set_on_response([&](HttpResponse r) { out = std::move(r); });
+  EXPECT_TRUE(parser.feed(serialize_response(resp)));
+  EXPECT_EQ(out.status, 503);
+  EXPECT_EQ(out.headers.get_or("x-served-by", ""), "sidecar");
+  EXPECT_EQ(out.body, resp.body);
+}
+
+TEST(Codec, EmptyBodyRoundTrip) {
+  HttpRequest req;
+  const HttpRequest parsed = parse_one_request(serialize_request(req));
+  EXPECT_EQ(parsed.body, "");
+}
+
+// Property: parsing is chunking-invariant — any split of the wire bytes
+// produces the same messages.
+class ChunkedFeedTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ChunkedFeedTest, ByteChunksParseIdentically) {
+  const std::size_t chunk = GetParam();
+  HttpRequest req;
+  req.method = "PUT";
+  req.path = "/a/b";
+  req.headers.set("host", "x");
+  req.body = std::string(777, 'q');
+  const std::string wire = serialize_request(req);
+
+  HttpParser parser(ParserKind::kRequest);
+  std::vector<HttpRequest> messages;
+  parser.set_on_request([&](HttpRequest r) { messages.push_back(std::move(r)); });
+  for (std::size_t i = 0; i < wire.size(); i += chunk) {
+    ASSERT_TRUE(parser.feed(std::string_view(wire).substr(
+        i, std::min(chunk, wire.size() - i))));
+  }
+  ASSERT_EQ(messages.size(), 1u);
+  EXPECT_EQ(messages[0].body, req.body);
+  EXPECT_EQ(messages[0].path, "/a/b");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkedFeedTest,
+                         ::testing::Values(1, 2, 3, 7, 16, 64, 1024, 10000));
+
+TEST(Codec, PipelinedMessagesInOneChunk) {
+  HttpRequest a, b;
+  a.path = "/first";
+  a.body = "AAA";
+  b.path = "/second";
+  b.body = "BBBBBB";
+  const std::string wire = serialize_request(a) + serialize_request(b);
+  HttpParser parser(ParserKind::kRequest);
+  std::vector<HttpRequest> messages;
+  parser.set_on_request([&](HttpRequest r) { messages.push_back(std::move(r)); });
+  ASSERT_TRUE(parser.feed(wire));
+  ASSERT_EQ(messages.size(), 2u);
+  EXPECT_EQ(messages[0].path, "/first");
+  EXPECT_EQ(messages[0].body, "AAA");
+  EXPECT_EQ(messages[1].path, "/second");
+  EXPECT_EQ(messages[1].body, "BBBBBB");
+}
+
+TEST(Codec, ManyPipelinedMessages) {
+  std::string wire;
+  for (int i = 0; i < 50; ++i) {
+    HttpRequest r;
+    r.path = "/n/" + std::to_string(i);
+    r.body = std::string(static_cast<std::size_t>(i), 'x');
+    wire += serialize_request(r);
+  }
+  HttpParser parser(ParserKind::kRequest);
+  int count = 0;
+  parser.set_on_request([&](HttpRequest) { ++count; });
+  ASSERT_TRUE(parser.feed(wire));
+  EXPECT_EQ(count, 50);
+}
+
+TEST(Codec, BadStartLineSetsError) {
+  HttpParser parser(ParserKind::kRequest);
+  EXPECT_FALSE(parser.feed("NOT-HTTP\r\n\r\n"));
+  EXPECT_TRUE(parser.has_error());
+  EXPECT_EQ(parser.error(), ParserError::kBadStartLine);
+}
+
+TEST(Codec, BadResponseStatusSetsError) {
+  HttpParser parser(ParserKind::kResponse);
+  EXPECT_FALSE(parser.feed("HTTP/1.1 9999 Weird\r\n\r\n"));
+  EXPECT_EQ(parser.error(), ParserError::kBadStartLine);
+}
+
+TEST(Codec, HeaderWithoutColonSetsError) {
+  HttpParser parser(ParserKind::kRequest);
+  EXPECT_FALSE(parser.feed("GET / HTTP/1.1\r\nbad header line\r\n\r\n"));
+  EXPECT_EQ(parser.error(), ParserError::kBadHeader);
+}
+
+TEST(Codec, BadContentLengthSetsError) {
+  HttpParser parser(ParserKind::kRequest);
+  EXPECT_FALSE(
+      parser.feed("GET / HTTP/1.1\r\ncontent-length: banana\r\n\r\n"));
+  EXPECT_EQ(parser.error(), ParserError::kBadContentLength);
+}
+
+TEST(Codec, OversizedHeadSetsError) {
+  HttpParser parser(ParserKind::kRequest);
+  std::string huge = "GET / HTTP/1.1\r\n";
+  huge.append(HttpParser::kMaxHeadBytes + 1024, 'h');  // no terminator
+  EXPECT_FALSE(parser.feed(huge));
+  EXPECT_EQ(parser.error(), ParserError::kHeadTooLarge);
+}
+
+TEST(Codec, ErrorStateIgnoresFurtherInput) {
+  HttpParser parser(ParserKind::kRequest);
+  EXPECT_FALSE(parser.feed("garbage\r\n\r\n"));
+  EXPECT_FALSE(parser.feed("GET / HTTP/1.1\r\n\r\n"));
+  EXPECT_EQ(parser.messages_parsed(), 0u);
+}
+
+TEST(Codec, ResetRecoversFromError) {
+  HttpParser parser(ParserKind::kRequest);
+  int count = 0;
+  parser.set_on_request([&](HttpRequest) { ++count; });
+  EXPECT_FALSE(parser.feed("garbage\r\n\r\n"));
+  parser.reset();
+  EXPECT_FALSE(parser.has_error());
+  EXPECT_TRUE(parser.feed("GET / HTTP/1.1\r\ncontent-length: 0\r\n\r\n"));
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Codec, HeaderValuesAreTrimmed) {
+  HttpParser parser(ParserKind::kRequest);
+  HttpRequest out;
+  parser.set_on_request([&](HttpRequest r) { out = std::move(r); });
+  ASSERT_TRUE(parser.feed("GET / HTTP/1.1\r\nhost:   spaced   \r\n\r\n"));
+  EXPECT_EQ(out.headers.get_or("host", ""), "spaced");
+}
+
+TEST(Codec, LargeBinaryBodySurvives) {
+  HttpResponse resp;
+  resp.body.resize(2 * 1024 * 1024);
+  for (std::size_t i = 0; i < resp.body.size(); ++i) {
+    resp.body[i] = static_cast<char>(i * 31 + 7);
+  }
+  HttpParser parser(ParserKind::kResponse);
+  HttpResponse out;
+  parser.set_on_response([&](HttpResponse r) { out = std::move(r); });
+  ASSERT_TRUE(parser.feed(serialize_response(resp)));
+  EXPECT_EQ(out.body, resp.body);
+}
+
+}  // namespace
+}  // namespace meshnet::http

@@ -1,0 +1,677 @@
+// Tests for the mesh data plane (sidecar, pools, balancers, breakers) and
+// control plane (config push, discovery, certificates, telemetry).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/microservice.h"
+#include "mesh/builtin_filters.h"
+#include "mesh/circuit_breaker.h"
+#include "mesh/control_plane.h"
+#include "mesh/filter.h"
+#include "mesh/http_client.h"
+#include "mesh/load_balancer.h"
+#include "mesh/sidecar.h"
+#include "mesh/telemetry.h"
+#include "mesh/tracing.h"
+#include "sim/simulator.h"
+
+namespace meshnet::mesh {
+namespace {
+
+// ---------------------------------------------------------- tracing --
+
+TEST(Tracing, RootSpanGetsFreshTraceId) {
+  Tracer tracer;
+  const Span span = tracer.start_span("svc", "op", TraceContext{}, 100);
+  EXPECT_FALSE(span.trace_id.empty());
+  EXPECT_TRUE(span.parent_span_id.empty());
+  EXPECT_EQ(span.start, 100);
+}
+
+TEST(Tracing, ChildInheritsTraceId) {
+  Tracer tracer;
+  const Span parent = tracer.start_span("a", "op", TraceContext{}, 0);
+  TraceContext ctx{parent.trace_id, parent.span_id};
+  const Span child = tracer.start_span("b", "op", ctx, 1);
+  EXPECT_EQ(child.trace_id, parent.trace_id);
+  EXPECT_EQ(child.parent_span_id, parent.span_id);
+  EXPECT_NE(child.span_id, parent.span_id);
+}
+
+TEST(Tracing, ContextHeaderRoundTrip) {
+  TraceContext ctx{"trace-1", "span-9"};
+  http::HeaderMap headers;
+  ctx.inject(headers, "span-8");
+  const TraceContext out = TraceContext::extract(headers);
+  EXPECT_EQ(out.trace_id, "trace-1");
+  EXPECT_EQ(out.span_id, "span-9");
+  EXPECT_EQ(headers.get_or(http::headers::kParentSpanId, ""), "span-8");
+}
+
+TEST(Tracing, FinishRecordsAndFiltersByTrace) {
+  Tracer tracer;
+  Span a = tracer.start_span("s", "op-a", TraceContext{}, 0);
+  const std::string trace_id = a.trace_id;
+  Span b = tracer.start_span("s", "op-b",
+                             TraceContext{a.trace_id, a.span_id}, 5);
+  tracer.finish_span(std::move(b), 10);
+  tracer.finish_span(std::move(a), 20);
+  Span other = tracer.start_span("s", "op-c", TraceContext{}, 0);
+  tracer.finish_span(std::move(other), 1);
+  EXPECT_EQ(tracer.span_count(), 3u);
+  const auto spans = tracer.trace(trace_id);
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0]->operation, "op-a");  // sorted by start
+  EXPECT_EQ(spans[1]->operation, "op-b");
+}
+
+TEST(Tracing, RetentionBoundsMemory) {
+  Tracer tracer;
+  tracer.set_retention(10);
+  for (int i = 0; i < 50; ++i) {
+    tracer.finish_span(tracer.start_span("s", "op", TraceContext{}, i), i);
+  }
+  EXPECT_EQ(tracer.span_count(), 10u);
+  tracer.set_retention(0);
+  tracer.finish_span(tracer.start_span("s", "op", TraceContext{}, 0), 0);
+  EXPECT_EQ(tracer.span_count(), 10u);  // collection disabled
+}
+
+// ------------------------------------------------------ filter chain --
+
+class RecordingFilter : public HttpFilter {
+ public:
+  RecordingFilter(std::string tag, std::vector<std::string>* log,
+                  FilterStatus status = FilterStatus::kContinue)
+      : tag_(std::move(tag)), log_(log), status_(status) {}
+  std::string name() const override { return tag_; }
+  FilterStatus on_request(RequestContext&) override {
+    log_->push_back("req:" + tag_);
+    return status_;
+  }
+  void on_response(RequestContext&, http::HttpResponse&) override {
+    log_->push_back("resp:" + tag_);
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* log_;
+  FilterStatus status_;
+};
+
+TEST(FilterChain, RequestOrderAndResponseReversed) {
+  std::vector<std::string> log;
+  FilterChain chain;
+  chain.append(std::make_shared<RecordingFilter>("a", &log));
+  chain.append(std::make_shared<RecordingFilter>("b", &log));
+  RequestContext ctx;
+  EXPECT_TRUE(chain.run_request(ctx));
+  http::HttpResponse response;
+  chain.run_response(ctx, response);
+  EXPECT_EQ(log, (std::vector<std::string>{"req:a", "req:b", "resp:b",
+                                           "resp:a"}));
+}
+
+TEST(FilterChain, StopIterationShortCircuits) {
+  std::vector<std::string> log;
+  FilterChain chain;
+  chain.append(std::make_shared<RecordingFilter>(
+      "gate", &log, FilterStatus::kStopIteration));
+  chain.append(std::make_shared<RecordingFilter>("never", &log));
+  RequestContext ctx;
+  EXPECT_FALSE(chain.run_request(ctx));
+  EXPECT_EQ(log, std::vector<std::string>{"req:gate"});
+}
+
+TEST(FilterChain, Names) {
+  FilterChain chain;
+  std::vector<std::string> log;
+  chain.append(std::make_shared<RecordingFilter>("x", &log));
+  EXPECT_EQ(chain.filter_names(), std::vector<std::string>{"x"});
+  EXPECT_EQ(chain.size(), 1u);
+}
+
+TEST(TrafficClassNames, AllNamed) {
+  EXPECT_EQ(traffic_class_name(TrafficClass::kDefault), "default");
+  EXPECT_EQ(traffic_class_name(TrafficClass::kLatencySensitive),
+            "latency-sensitive");
+  EXPECT_EQ(traffic_class_name(TrafficClass::kScavenger), "scavenger");
+}
+
+// ---------------------------------------------------- load balancers --
+
+std::vector<cluster::Endpoint> three_endpoints() {
+  return {{"p1", 1, 80, {{"weight", "1"}}},
+          {"p2", 2, 80, {{"weight", "2"}}},
+          {"p3", 3, 80, {{"weight", "7"}}}};
+}
+
+std::vector<const cluster::Endpoint*> pointers(
+    const std::vector<cluster::Endpoint>& endpoints) {
+  std::vector<const cluster::Endpoint*> out;
+  for (const auto& ep : endpoints) out.push_back(&ep);
+  return out;
+}
+
+TEST(LoadBalancer, RoundRobinCycles) {
+  const auto endpoints = three_endpoints();
+  RoundRobinBalancer lb;
+  LbContext ctx;
+  const auto c = pointers(endpoints);
+  EXPECT_EQ(lb.pick(c, ctx)->pod_name, "p1");
+  EXPECT_EQ(lb.pick(c, ctx)->pod_name, "p2");
+  EXPECT_EQ(lb.pick(c, ctx)->pod_name, "p3");
+  EXPECT_EQ(lb.pick(c, ctx)->pod_name, "p1");
+}
+
+TEST(LoadBalancer, EmptyCandidatesYieldNull) {
+  RoundRobinBalancer rr;
+  RandomBalancer random(1);
+  LeastRequestBalancer least(1);
+  WeightedRoundRobinBalancer wrr;
+  LbContext ctx;
+  const std::vector<const cluster::Endpoint*> empty;
+  EXPECT_EQ(rr.pick(empty, ctx), nullptr);
+  EXPECT_EQ(random.pick(empty, ctx), nullptr);
+  EXPECT_EQ(least.pick(empty, ctx), nullptr);
+  EXPECT_EQ(wrr.pick(empty, ctx), nullptr);
+}
+
+TEST(LoadBalancer, RandomCoversAllEndpoints) {
+  const auto endpoints = three_endpoints();
+  RandomBalancer lb(7);
+  LbContext ctx;
+  const auto c = pointers(endpoints);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) ++counts[lb.pick(c, ctx)->pod_name];
+  for (const auto& [name, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150) << name;
+  }
+}
+
+TEST(LoadBalancer, LeastRequestPrefersIdle) {
+  const auto endpoints = three_endpoints();
+  LeastRequestBalancer lb(7);
+  LbContext ctx;
+  ctx.active_requests = [](const cluster::Endpoint& ep) -> std::uint64_t {
+    return ep.pod_name == "p2" ? 0 : 100;  // p2 is idle
+  };
+  const auto c = pointers(endpoints);
+  int p2 = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (lb.pick(c, ctx)->pod_name == "p2") ++p2;
+  }
+  // Power-of-two-choices picks the idle endpoint whenever sampled (~2/3
+  // of rounds with 3 candidates).
+  EXPECT_GT(p2, 500);
+}
+
+TEST(LoadBalancer, WeightedRoundRobinMatchesWeights) {
+  const auto endpoints = three_endpoints();  // weights 1,2,7
+  WeightedRoundRobinBalancer lb;
+  LbContext ctx;
+  const auto c = pointers(endpoints);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 1000; ++i) ++counts[lb.pick(c, ctx)->pod_name];
+  EXPECT_EQ(counts["p1"], 100);
+  EXPECT_EQ(counts["p2"], 200);
+  EXPECT_EQ(counts["p3"], 700);
+}
+
+TEST(LoadBalancer, WrrSmoothness) {
+  // With weights 1:1, WRR must alternate, never burst.
+  std::vector<cluster::Endpoint> endpoints = {{"a", 1, 80, {}},
+                                              {"b", 2, 80, {}}};
+  WeightedRoundRobinBalancer lb;
+  LbContext ctx;
+  const auto c = pointers(endpoints);
+  std::string last;
+  for (int i = 0; i < 10; ++i) {
+    const std::string now = lb.pick(c, ctx)->pod_name;
+    if (!last.empty()) EXPECT_NE(now, last);
+    last = now;
+  }
+}
+
+TEST(LoadBalancer, FactoryNames) {
+  EXPECT_EQ(make_balancer(LbPolicy::kRoundRobin, 1)->name(), "round-robin");
+  EXPECT_EQ(make_balancer(LbPolicy::kRandom, 1)->name(), "random");
+  EXPECT_EQ(make_balancer(LbPolicy::kLeastRequest, 1)->name(),
+            "least-request");
+  EXPECT_EQ(make_balancer(LbPolicy::kWeightedRoundRobin, 1)->name(),
+            "weighted-round-robin");
+  EXPECT_EQ(lb_policy_name(LbPolicy::kLeastRequest), "least-request");
+}
+
+// --------------------------------------------------- circuit breaker --
+
+TEST(CircuitBreaker, OpensAfterConsecutiveFailures) {
+  CircuitBreaker cb({3, sim::milliseconds(100), 1});
+  EXPECT_TRUE(cb.allow_request(0));
+  cb.on_failure(0);
+  cb.on_failure(0);
+  EXPECT_EQ(cb.state(), CircuitState::kClosed);
+  cb.on_failure(0);
+  EXPECT_EQ(cb.state(), CircuitState::kOpen);
+  EXPECT_FALSE(cb.allow_request(1));
+  EXPECT_EQ(cb.times_opened(), 1u);
+}
+
+TEST(CircuitBreaker, SuccessResetsFailureCount) {
+  CircuitBreaker cb({3, sim::milliseconds(100), 1});
+  cb.on_failure(0);
+  cb.on_failure(0);
+  cb.on_success(0);
+  cb.on_failure(0);
+  cb.on_failure(0);
+  EXPECT_EQ(cb.state(), CircuitState::kClosed);
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsLimitedProbes) {
+  CircuitBreaker cb({1, sim::milliseconds(100), 2});
+  cb.on_failure(0);
+  EXPECT_EQ(cb.state(), CircuitState::kOpen);
+  EXPECT_FALSE(cb.allow_request(50));
+  EXPECT_TRUE(cb.allow_request(sim::milliseconds(100)));  // probe 1
+  EXPECT_EQ(cb.state(), CircuitState::kHalfOpen);
+  EXPECT_TRUE(cb.allow_request(sim::milliseconds(100)));  // probe 2
+  EXPECT_FALSE(cb.allow_request(sim::milliseconds(100)));
+}
+
+TEST(CircuitBreaker, ProbeSuccessCloses) {
+  CircuitBreaker cb({1, sim::milliseconds(100), 1});
+  cb.on_failure(0);
+  EXPECT_TRUE(cb.allow_request(sim::milliseconds(200)));
+  cb.on_success(sim::milliseconds(201));
+  EXPECT_EQ(cb.state(), CircuitState::kClosed);
+  EXPECT_TRUE(cb.allow_request(sim::milliseconds(202)));
+}
+
+TEST(CircuitBreaker, ProbeFailureReopens) {
+  CircuitBreaker cb({1, sim::milliseconds(100), 1});
+  cb.on_failure(0);
+  EXPECT_TRUE(cb.allow_request(sim::milliseconds(200)));
+  cb.on_failure(sim::milliseconds(201));
+  EXPECT_EQ(cb.state(), CircuitState::kOpen);
+  EXPECT_FALSE(cb.allow_request(sim::milliseconds(250)));
+  EXPECT_EQ(cb.times_opened(), 2u);
+}
+
+TEST(CircuitBreaker, ZeroThresholdDisables) {
+  CircuitBreaker cb({0, sim::milliseconds(100), 1});
+  for (int i = 0; i < 100; ++i) cb.on_failure(i);
+  EXPECT_TRUE(cb.allow_request(1000));
+  EXPECT_EQ(cb.state(), CircuitState::kClosed);
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_EQ(circuit_state_name(CircuitState::kClosed), "closed");
+  EXPECT_EQ(circuit_state_name(CircuitState::kOpen), "open");
+  EXPECT_EQ(circuit_state_name(CircuitState::kHalfOpen), "half-open");
+}
+
+// -------------------------------------------------------- telemetry --
+
+TEST(Telemetry, AggregatesPerEdge) {
+  TelemetrySink sink;
+  sink.record_request("a", "b", 200, sim::milliseconds(5), 0);
+  sink.record_request("a", "b", 503, sim::milliseconds(9), 2);
+  sink.record_request("a", "c", 200, sim::milliseconds(1), 0);
+  const EdgeMetrics* ab = sink.edge("a", "b");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_EQ(ab->requests, 2u);
+  EXPECT_EQ(ab->failures, 1u);
+  EXPECT_EQ(ab->retries, 2u);
+  EXPECT_EQ(ab->latency.count(), 2u);
+  EXPECT_EQ(sink.total_requests(), 3u);
+  EXPECT_EQ(sink.total_failures(), 1u);
+  EXPECT_EQ(sink.edges().size(), 2u);
+  EXPECT_EQ(sink.edge("x", "y"), nullptr);
+}
+
+TEST(Telemetry, TransportErrorsCountAsFailures) {
+  TelemetrySink sink;
+  sink.record_request("a", "b", 0, 0, 0);  // status 0 = no response
+  EXPECT_EQ(sink.edge("a", "b")->failures, 1u);
+}
+
+TEST(Telemetry, Clear) {
+  TelemetrySink sink;
+  sink.record_request("a", "b", 200, 1, 0);
+  sink.clear();
+  EXPECT_EQ(sink.total_requests(), 0u);
+  EXPECT_TRUE(sink.edges().empty());
+}
+
+// ---------------------------------------------- meshed test fixture --
+
+class MeshFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    http::reset_request_id_counter();
+    cluster_ = std::make_unique<cluster::Cluster>(sim_);
+    cluster_->add_node("n1");
+  }
+
+  /// Builds client pod (meshed), N server replicas, control plane, apps.
+  void build(int replicas = 1, MeshPolicies policies = {},
+             std::function<app::HandlerResult(const http::HttpRequest&,
+                                              int replica)>
+                 behavior = nullptr) {
+    client_pod_ = &cluster_->add_pod("n1", "client", "client", 0);
+    for (int i = 1; i <= replicas; ++i) {
+      server_pods_.push_back(&cluster_->add_pod(
+          "n1", "server-v" + std::to_string(i), "server", 8080));
+    }
+    control_plane_ =
+        std::make_unique<ControlPlane>(sim_, *cluster_, std::move(policies));
+    client_sidecar_ = &control_plane_->inject_sidecar(*client_pod_, {});
+    for (auto* pod : server_pods_) {
+      server_sidecars_.push_back(&control_plane_->inject_sidecar(*pod, {}));
+    }
+    control_plane_->start();
+    for (std::size_t i = 0; i < server_pods_.size(); ++i) {
+      const int replica = static_cast<int>(i) + 1;
+      apps_.push_back(std::make_unique<app::Microservice>(
+          sim_, *server_pods_[i],
+          [behavior, replica](const http::HttpRequest& request) {
+            if (behavior) return behavior(request, replica);
+            app::HandlerResult plan;
+            plan.response_bytes = 64;
+            return plan;
+          }));
+    }
+    HttpClientPool::Options options;
+    options.max_connections = 64;
+    client_ = std::make_unique<HttpClientPool>(
+        sim_, client_pod_->transport(),
+        net::SocketAddress{client_pod_->ip(), 15001}, options);
+  }
+
+  /// Sends one GET via the mesh and runs until it completes.
+  std::optional<http::HttpResponse> get(const std::string& host,
+                                        const std::string& path,
+                                        sim::Duration timeout = sim::seconds(20)) {
+    http::HttpRequest request;
+    request.path = path;
+    request.headers.set(http::headers::kHost, host);
+    std::optional<http::HttpResponse> result;
+    bool done = false;
+    client_->request(std::move(request),
+                     [&](std::optional<http::HttpResponse> response,
+                         const std::string&) {
+                       result = std::move(response);
+                       done = true;
+                     });
+    const sim::Time deadline = sim_.now() + timeout;
+    while (!done && sim_.now() < deadline) {
+      sim_.run_until(sim_.now() + sim::milliseconds(10));
+    }
+    return result;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<ControlPlane> control_plane_;
+  cluster::Pod* client_pod_ = nullptr;
+  std::vector<cluster::Pod*> server_pods_;
+  Sidecar* client_sidecar_ = nullptr;
+  std::vector<Sidecar*> server_sidecars_;
+  std::vector<std::unique_ptr<app::Microservice>> apps_;
+  std::unique_ptr<HttpClientPool> client_;
+};
+
+TEST_F(MeshFixture, EndToEndRequestThroughMesh) {
+  build();
+  const auto response = get("server", "/hello");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body.size(), 64u);
+  EXPECT_EQ(client_sidecar_->stats().outbound_requests, 1u);
+  EXPECT_EQ(server_sidecars_[0]->stats().inbound_requests, 1u);
+}
+
+TEST_F(MeshFixture, UnknownHostGets404) {
+  build();
+  const auto response = get("ghost-service", "/x");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 404);
+}
+
+TEST_F(MeshFixture, TracingProducesLinkedSpans) {
+  build();
+  ASSERT_TRUE(get("server", "/traced").has_value());
+  const auto& spans = control_plane_->tracer().spans();
+  ASSERT_EQ(spans.size(), 2u);  // client outbound + server inbound
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST_F(MeshFixture, RequestIdAssignedWhenMissing) {
+  build(1, {}, [](const http::HttpRequest& request, int) {
+    app::HandlerResult plan;
+    plan.response_bytes = request.request_id().empty() ? 1 : 2;
+    return plan;
+  });
+  const auto response = get("server", "/id");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->body.size(), 2u);  // app saw a request id
+}
+
+TEST_F(MeshFixture, TelemetryRecordsEdge) {
+  build();
+  get("server", "/a");
+  get("server", "/b");
+  const EdgeMetrics* edge =
+      control_plane_->telemetry().edge("client", "server");
+  ASSERT_NE(edge, nullptr);
+  EXPECT_EQ(edge->requests, 2u);
+  EXPECT_EQ(edge->failures, 0u);
+}
+
+TEST_F(MeshFixture, AuthorizationDeniesUnlistedSource) {
+  MeshPolicies policies;
+  policies.authorization["server"] = {"someone-else"};
+  build(1, policies);
+  const auto response = get("server", "/secret");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 403);
+}
+
+TEST_F(MeshFixture, AuthorizationAllowsListedSource) {
+  MeshPolicies policies;
+  policies.authorization["server"] = {"client"};
+  build(1, policies);
+  const auto response = get("server", "/ok");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST_F(MeshFixture, RetryRecoversFrom5xx) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  int failures_left = 1;
+  build(1, policies, [&failures_left](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    if (failures_left > 0) {
+      --failures_left;
+      plan.status = 503;
+    }
+    plan.response_bytes = 8;
+    return plan;
+  });
+  const auto response = get("server", "/flaky");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 1u);
+}
+
+TEST_F(MeshFixture, RetriesExhaustTo5xx) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 1;
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.status = 500;
+    return plan;
+  });
+  const auto response = get("server", "/always-bad");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 500);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 1u);
+  EXPECT_GE(client_sidecar_->stats().upstream_failures, 1u);
+}
+
+TEST_F(MeshFixture, PerTryTimeoutProduces504) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 0;
+  policies.retry.per_try_timeout = sim::milliseconds(50);
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::seconds(30);  // never answers in time
+    return plan;
+  });
+  const auto response = get("server", "/slow", sim::seconds(40));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);  // upstream failed: per-try timeout
+}
+
+TEST_F(MeshFixture, CircuitBreakerOpensOnRepeatedFailure) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 0;
+  policies.breaker.consecutive_failures = 3;
+  policies.breaker.open_duration = sim::seconds(60);
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.status = 500;
+    return plan;
+  });
+  for (int i = 0; i < 3; ++i) get("server", "/bad");
+  EXPECT_EQ(client_sidecar_->breaker_for("server", "server-v1").state(),
+            CircuitState::kOpen);
+  // With the only endpooint ejected, requests fail fast with 503.
+  const auto response = get("server", "/next");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+}
+
+TEST_F(MeshFixture, RoundRobinSpreadsAcrossReplicas) {
+  build(2, {}, [](const http::HttpRequest&, int replica) {
+    app::HandlerResult plan;
+    plan.response_bytes = static_cast<std::size_t>(replica);
+    return plan;
+  });
+  std::map<std::size_t, int> seen;
+  for (int i = 0; i < 10; ++i) {
+    const auto response = get("server", "/lb");
+    ASSERT_TRUE(response.has_value());
+    ++seen[response->body.size()];
+  }
+  EXPECT_EQ(seen[1], 5);
+  EXPECT_EQ(seen[2], 5);
+}
+
+TEST_F(MeshFixture, SubsetRoutingSelectsLabelledReplica) {
+  build(2);
+  // Relabel endpoints: v1 high, v2 low, then re-push.
+  auto& registry = cluster_->registry();
+  registry.add_endpoint("server", {"server-v1", server_pods_[0]->ip(), 8080,
+                                   {{"priority", "high"}}});
+  registry.add_endpoint("server", {"server-v2", server_pods_[1]->ip(), 8080,
+                                   {{"priority", "low"}}});
+  control_plane_->push_config();
+  // A filter that pins every request to the high subset.
+  class PinFilter : public HttpFilter {
+   public:
+    std::string name() const override { return "pin"; }
+    FilterStatus on_request(RequestContext& ctx) override {
+      ctx.subset["priority"] = "high";
+      return FilterStatus::kContinue;
+    }
+  };
+  client_sidecar_->outbound_filters().append(std::make_shared<PinFilter>());
+  for (int i = 0; i < 6; ++i) get("server", "/pinned");
+  EXPECT_EQ(apps_[0]->requests_served(), 6u);
+  EXPECT_EQ(apps_[1]->requests_served(), 0u);
+}
+
+TEST_F(MeshFixture, SubsetFallbackUsesAllEndpointsWhenNoMatch) {
+  build(1);
+  class PinFilter : public HttpFilter {
+   public:
+    std::string name() const override { return "pin"; }
+    FilterStatus on_request(RequestContext& ctx) override {
+      ctx.subset["priority"] = "nonexistent";
+      return FilterStatus::kContinue;
+    }
+  };
+  client_sidecar_->outbound_filters().append(std::make_shared<PinFilter>());
+  const auto response = get("server", "/fallback");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST_F(MeshFixture, RouteTableAliasesHost) {
+  build();
+  MeshPolicies& policies = control_plane_->policies();
+  (void)policies;
+  // Host "www.example.com" routes to cluster "server" via explicit route.
+  SidecarConfig config = client_sidecar_->config();
+  config.routes["www.example.com"] = "server";
+  client_sidecar_->apply_config(config);
+  const auto response = get("www.example.com", "/aliased");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST_F(MeshFixture, ConfigPushPropagatesNewEndpoints) {
+  build(1);
+  // A new replica appears in the registry; the poller pushes it.
+  cluster::Pod& new_pod = cluster_->add_pod("n1", "server-v9", "server", 8080);
+  control_plane_->inject_sidecar(new_pod, {});
+  apps_.push_back(std::make_unique<app::Microservice>(
+      sim_, new_pod, [](const http::HttpRequest&) {
+        app::HandlerResult plan;
+        plan.response_bytes = 9;
+        return plan;
+      }));
+  sim_.run_until(sim_.now() + sim::seconds(1));  // let the poll fire
+  const auto spec =
+      client_sidecar_->config().clusters.find("server")->second;
+  EXPECT_EQ(spec.endpoints.size(), 2u);
+}
+
+TEST_F(MeshFixture, CertificatesAreIssuedAndValid) {
+  build();
+  const Certificate cert = control_plane_->issue_certificate("server");
+  EXPECT_NE(cert.spiffe_id.find("server"), std::string::npos);
+  EXPECT_TRUE(cert.valid_at(sim_.now()));
+  EXPECT_FALSE(cert.valid_at(cert.expires_at));
+  const Certificate cert2 = control_plane_->issue_certificate("server");
+  EXPECT_GT(cert2.serial, cert.serial);
+}
+
+TEST_F(MeshFixture, SidecarForLookup) {
+  build();
+  EXPECT_EQ(control_plane_->sidecar_for("client"), client_sidecar_);
+  EXPECT_EQ(control_plane_->sidecar_for("ghost"), nullptr);
+}
+
+TEST_F(MeshFixture, PoolReusesConnections) {
+  build();
+  for (int i = 0; i < 5; ++i) get("server", "/reuse");
+  // The client app pool holds one connection to the sidecar, the sidecar
+  // one upstream connection: far fewer than one per request.
+  EXPECT_LE(client_pod_->transport().stats().connections_opened, 3u);
+}
+
+TEST_F(MeshFixture, ActiveRequestTrackingReturnsToZero) {
+  build();
+  get("server", "/done");
+  EXPECT_EQ(client_sidecar_->active_requests_to("server-v1"), 0u);
+}
+
+}  // namespace
+}  // namespace meshnet::mesh

@@ -1,0 +1,203 @@
+// Tests for the load generators (wrk2 methodology) and the latency
+// recorder.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "app/http_server.h"
+#include "cluster/cluster.h"
+#include "mesh/http_client.h"
+#include "sim/simulator.h"
+#include "workload/generator.h"
+#include "workload/recorder.h"
+
+namespace meshnet::workload {
+namespace {
+
+TEST(LatencyRecorder, OnlyCountsInsideWindow) {
+  LatencyRecorder recorder(sim::seconds(1), sim::seconds(2));
+  recorder.record(sim::milliseconds(500), sim::milliseconds(600), true);
+  recorder.record(sim::milliseconds(1500), sim::milliseconds(1600), true);
+  recorder.record(sim::milliseconds(2500), sim::milliseconds(2600), true);
+  EXPECT_EQ(recorder.count(), 1u);
+}
+
+TEST(LatencyRecorder, WindowBoundariesHalfOpen) {
+  LatencyRecorder recorder(sim::seconds(1), sim::seconds(2));
+  recorder.record(sim::seconds(1), sim::seconds(1), true);   // inclusive
+  recorder.record(sim::seconds(2), sim::seconds(2), true);   // exclusive
+  EXPECT_EQ(recorder.count(), 1u);
+}
+
+TEST(LatencyRecorder, ErrorsCountedSeparately) {
+  LatencyRecorder recorder(0, sim::seconds(10));
+  recorder.record(sim::seconds(1), sim::seconds(2), false);
+  recorder.record(sim::seconds(1), sim::seconds(2), true);
+  EXPECT_EQ(recorder.count(), 1u);
+  EXPECT_EQ(recorder.errors(), 1u);
+}
+
+TEST(LatencyRecorder, PercentilesInMilliseconds) {
+  LatencyRecorder recorder(0, sim::seconds(10));
+  for (int i = 1; i <= 100; ++i) {
+    recorder.record(0, sim::milliseconds(i), true);
+  }
+  EXPECT_NEAR(recorder.p50_ms(), 50.0, 1.0);
+  EXPECT_NEAR(recorder.p99_ms(), 99.0, 1.5);
+  EXPECT_NEAR(recorder.mean_ms(), 50.5, 1.0);
+  EXPECT_NEAR(recorder.max_ms(), 100.0, 1.0);
+}
+
+TEST(LatencyRecorder, ThroughputOverWindow) {
+  LatencyRecorder recorder(0, sim::seconds(10));
+  for (int i = 0; i < 500; ++i) recorder.record(sim::seconds(1), sim::seconds(1), true);
+  EXPECT_DOUBLE_EQ(recorder.throughput_rps(), 50.0);
+}
+
+TEST(LatencyRecorder, NegativeLatencyClampsToZero) {
+  LatencyRecorder recorder(0, sim::seconds(10));
+  recorder.record(sim::seconds(5), sim::seconds(4), true);  // clock skew
+  EXPECT_EQ(recorder.percentile_ms(50), 0.0);
+}
+
+TEST(Factory, SimpleGetFactoryShapesRequests) {
+  auto factory = simple_get_factory("frontend", "/product", 10);
+  const http::HttpRequest r0 = factory(0);
+  EXPECT_EQ(r0.method, "GET");
+  EXPECT_EQ(r0.path, "/product/0");
+  EXPECT_EQ(r0.headers.get_or(http::headers::kHost, ""), "frontend");
+  EXPECT_EQ(factory(13).path, "/product/3");  // modulo applied
+}
+
+// ------------------------------------------ generators over a real sim --
+
+class GeneratorFixture : public ::testing::Test {
+ protected:
+  GeneratorFixture() : cluster(sim) {
+    cluster.add_node("n1");
+    server_pod = &cluster.add_pod("n1", "srv", "srv", 0);
+    client_pod = &cluster.add_pod("n1", "cli", "", 0);
+    server = std::make_unique<app::SimpleHttpServer>(
+        sim, server_pod->transport(), 8080,
+        [this](http::HttpRequest, app::SimpleHttpServer::Responder respond) {
+          sim.schedule_after(sim::milliseconds(service_ms),
+                             [respond = std::move(respond)] {
+                               respond(http::HttpResponse{200});
+                             });
+        });
+    mesh::HttpClientPool::Options options;
+    options.max_connections = 256;
+    pool = std::make_unique<mesh::HttpClientPool>(
+        sim, client_pod->transport(),
+        net::SocketAddress{server_pod->ip(), 8080}, options);
+  }
+
+  WorkloadSpec spec_for(double rps, ArrivalProcess arrival) {
+    WorkloadSpec spec;
+    spec.name = "test";
+    spec.rps = rps;
+    spec.arrival = arrival;
+    spec.make_request = simple_get_factory("srv", "/x");
+    spec.start = 0;
+    spec.end = sim::seconds(20);
+    spec.measure_start = sim::seconds(1);
+    spec.measure_end = sim::seconds(19);
+    return spec;
+  }
+
+  sim::Simulator sim;
+  cluster::Cluster cluster;
+  cluster::Pod* server_pod;
+  cluster::Pod* client_pod;
+  std::unique_ptr<app::SimpleHttpServer> server;
+  std::unique_ptr<mesh::HttpClientPool> pool;
+  int service_ms = 1;
+};
+
+class ArrivalTest : public GeneratorFixture,
+                    public ::testing::WithParamInterface<ArrivalProcess> {};
+
+TEST_P(ArrivalTest, AchievesConfiguredRate) {
+  OpenLoopGenerator gen(sim, *pool, spec_for(100, GetParam()), 42);
+  gen.start();
+  sim.run_until(sim::seconds(25));
+  // 18 s measurement window at 100 rps: expect ~1800 completions.
+  EXPECT_NEAR(static_cast<double>(gen.recorder().count()), 1800.0, 120.0);
+  EXPECT_EQ(gen.failed(), 0u);
+  EXPECT_EQ(gen.outstanding(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Arrivals, ArrivalTest,
+                         ::testing::Values(ArrivalProcess::kUniformRandom,
+                                           ArrivalProcess::kPoisson,
+                                           ArrivalProcess::kConstant));
+
+TEST_F(GeneratorFixture, OpenLoopKeepsSendingWhileServerIsSlow) {
+  service_ms = 500;  // each request takes 0.5 s; at 50 rps load piles up
+  OpenLoopGenerator gen(sim, *pool, spec_for(50, ArrivalProcess::kConstant),
+                        42);
+  gen.start();
+  sim.run_until(sim::seconds(3));
+  // An open loop must have sent ~150 requests by t=3s regardless of
+  // completions (closed loop would have stalled at the concurrency cap).
+  EXPECT_GT(gen.sent(), 100u);
+  EXPECT_GT(gen.outstanding(), 20u);
+}
+
+TEST_F(GeneratorFixture, LatencyChargedFromScheduledTime) {
+  service_ms = 100;
+  OpenLoopGenerator gen(sim, *pool, spec_for(20, ArrivalProcess::kConstant),
+                        42);
+  gen.start();
+  sim.run_until(sim::seconds(25));
+  // Every request takes >= 100 ms service time.
+  EXPECT_GE(gen.recorder().p50_ms(), 100.0);
+}
+
+TEST(OpenLoopDeterminism, IdenticalSeedsIdenticalResults) {
+  auto run = [] {
+    sim::Simulator sim;
+    cluster::Cluster cluster(sim);
+    cluster.add_node("n1");
+    cluster::Pod& server_pod = cluster.add_pod("n1", "srv", "srv", 0);
+    cluster::Pod& client_pod = cluster.add_pod("n1", "cli", "", 0);
+    app::SimpleHttpServer server(
+        sim, server_pod.transport(), 8080,
+        [](http::HttpRequest, app::SimpleHttpServer::Responder respond) {
+          respond(http::HttpResponse{});
+        });
+    mesh::HttpClientPool pool(sim, client_pod.transport(),
+                              net::SocketAddress{server_pod.ip(), 8080}, {});
+    WorkloadSpec spec;
+    spec.rps = 50;
+    spec.arrival = ArrivalProcess::kUniformRandom;
+    spec.make_request = simple_get_factory("srv", "/x");
+    spec.end = sim::seconds(10);
+    spec.measure_start = sim::seconds(1);
+    spec.measure_end = sim::seconds(9);
+    OpenLoopGenerator gen(sim, pool, spec, 7);
+    gen.start();
+    sim.run_until(sim::seconds(15));
+    return std::make_pair(gen.recorder().count(), gen.recorder().p50_ms());
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_DOUBLE_EQ(a.second, b.second);
+}
+
+TEST_F(GeneratorFixture, ClosedLoopHoldsConcurrency) {
+  service_ms = 100;
+  WorkloadSpec spec = spec_for(0, ArrivalProcess::kConstant);
+  ClosedLoopGenerator gen(sim, *pool, spec, 4);
+  gen.start();
+  sim.run_until(sim::seconds(20));
+  // 4 concurrent clients, 100 ms service: ~40 rps for ~19 s window.
+  EXPECT_NEAR(static_cast<double>(gen.completed()), 4.0 * 10.0 * 19.0,
+              80.0);
+  EXPECT_EQ(gen.failed(), 0u);
+}
+
+}  // namespace
+}  // namespace meshnet::workload
