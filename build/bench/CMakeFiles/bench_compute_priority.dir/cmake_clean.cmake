@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compute_priority.dir/bench_compute_priority.cpp.o"
+  "CMakeFiles/bench_compute_priority.dir/bench_compute_priority.cpp.o.d"
+  "bench_compute_priority"
+  "bench_compute_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compute_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

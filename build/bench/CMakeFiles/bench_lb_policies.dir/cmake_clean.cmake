@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lb_policies.dir/bench_lb_policies.cpp.o"
+  "CMakeFiles/bench_lb_policies.dir/bench_lb_policies.cpp.o.d"
+  "bench_lb_policies"
+  "bench_lb_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lb_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_li_degradation.dir/bench_li_degradation.cpp.o"
+  "CMakeFiles/bench_li_degradation.dir/bench_li_degradation.cpp.o.d"
+  "bench_li_degradation"
+  "bench_li_degradation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_li_degradation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

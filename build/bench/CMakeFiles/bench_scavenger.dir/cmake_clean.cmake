@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scavenger.dir/bench_scavenger.cpp.o"
+  "CMakeFiles/bench_scavenger.dir/bench_scavenger.cpp.o.d"
+  "bench_scavenger"
+  "bench_scavenger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scavenger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sidecar_overhead.dir/bench_sidecar_overhead.cpp.o"
+  "CMakeFiles/bench_sidecar_overhead.dir/bench_sidecar_overhead.cpp.o.d"
+  "bench_sidecar_overhead"
+  "bench_sidecar_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sidecar_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

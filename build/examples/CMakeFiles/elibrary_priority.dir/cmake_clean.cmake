@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elibrary_priority.dir/elibrary_priority.cpp.o"
+  "CMakeFiles/elibrary_priority.dir/elibrary_priority.cpp.o.d"
+  "elibrary_priority"
+  "elibrary_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elibrary_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resilience.dir/resilience.cpp.o"
+  "CMakeFiles/resilience.dir/resilience.cpp.o.d"
+  "resilience"
+  "resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tracing_observability.dir/tracing_observability.cpp.o"
+  "CMakeFiles/tracing_observability.dir/tracing_observability.cpp.o.d"
+  "tracing_observability"
+  "tracing_observability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tracing_observability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

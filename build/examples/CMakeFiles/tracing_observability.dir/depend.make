@@ -1,0 +1,2 @@
+# Empty dependencies file for tracing_observability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_app.dir/elibrary.cc.o"
+  "CMakeFiles/meshnet_app.dir/elibrary.cc.o.d"
+  "CMakeFiles/meshnet_app.dir/http_server.cc.o"
+  "CMakeFiles/meshnet_app.dir/http_server.cc.o.d"
+  "CMakeFiles/meshnet_app.dir/microservice.cc.o"
+  "CMakeFiles/meshnet_app.dir/microservice.cc.o.d"
+  "libmeshnet_app.a"
+  "libmeshnet_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

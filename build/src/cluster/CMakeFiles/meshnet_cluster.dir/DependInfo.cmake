@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/meshnet_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/meshnet_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/service_registry.cc" "src/cluster/CMakeFiles/meshnet_cluster.dir/service_registry.cc.o" "gcc" "src/cluster/CMakeFiles/meshnet_cluster.dir/service_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/transport/CMakeFiles/meshnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/meshnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meshnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/meshnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

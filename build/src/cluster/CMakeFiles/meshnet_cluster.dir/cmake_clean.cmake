@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_cluster.dir/cluster.cc.o"
+  "CMakeFiles/meshnet_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/meshnet_cluster.dir/service_registry.cc.o"
+  "CMakeFiles/meshnet_cluster.dir/service_registry.cc.o.d"
+  "libmeshnet_cluster.a"
+  "libmeshnet_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/meshnet_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/cross_layer.cc" "src/core/CMakeFiles/meshnet_core.dir/cross_layer.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/cross_layer.cc.o.d"
+  "/root/repo/src/core/priority.cc" "src/core/CMakeFiles/meshnet_core.dir/priority.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/priority.cc.o.d"
+  "/root/repo/src/core/priority_router.cc" "src/core/CMakeFiles/meshnet_core.dir/priority_router.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/priority_router.cc.o.d"
+  "/root/repo/src/core/provenance.cc" "src/core/CMakeFiles/meshnet_core.dir/provenance.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/provenance.cc.o.d"
+  "/root/repo/src/core/sdn_coordinator.cc" "src/core/CMakeFiles/meshnet_core.dir/sdn_coordinator.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/sdn_coordinator.cc.o.d"
+  "/root/repo/src/core/tc_manager.cc" "src/core/CMakeFiles/meshnet_core.dir/tc_manager.cc.o" "gcc" "src/core/CMakeFiles/meshnet_core.dir/tc_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/meshnet_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/meshnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/meshnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meshnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/meshnet_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/meshnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/meshnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/meshnet_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_core.dir/classifier.cc.o"
+  "CMakeFiles/meshnet_core.dir/classifier.cc.o.d"
+  "CMakeFiles/meshnet_core.dir/cross_layer.cc.o"
+  "CMakeFiles/meshnet_core.dir/cross_layer.cc.o.d"
+  "CMakeFiles/meshnet_core.dir/priority.cc.o"
+  "CMakeFiles/meshnet_core.dir/priority.cc.o.d"
+  "CMakeFiles/meshnet_core.dir/priority_router.cc.o"
+  "CMakeFiles/meshnet_core.dir/priority_router.cc.o.d"
+  "CMakeFiles/meshnet_core.dir/provenance.cc.o"
+  "CMakeFiles/meshnet_core.dir/provenance.cc.o.d"
+  "CMakeFiles/meshnet_core.dir/sdn_coordinator.cc.o"
+  "CMakeFiles/meshnet_core.dir/sdn_coordinator.cc.o.d"
+  "CMakeFiles/meshnet_core.dir/tc_manager.cc.o"
+  "CMakeFiles/meshnet_core.dir/tc_manager.cc.o.d"
+  "libmeshnet_core.a"
+  "libmeshnet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

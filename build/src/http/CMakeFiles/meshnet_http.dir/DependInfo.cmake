@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/codec.cc" "src/http/CMakeFiles/meshnet_http.dir/codec.cc.o" "gcc" "src/http/CMakeFiles/meshnet_http.dir/codec.cc.o.d"
+  "/root/repo/src/http/header_map.cc" "src/http/CMakeFiles/meshnet_http.dir/header_map.cc.o" "gcc" "src/http/CMakeFiles/meshnet_http.dir/header_map.cc.o.d"
+  "/root/repo/src/http/message.cc" "src/http/CMakeFiles/meshnet_http.dir/message.cc.o" "gcc" "src/http/CMakeFiles/meshnet_http.dir/message.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/meshnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_http.dir/codec.cc.o"
+  "CMakeFiles/meshnet_http.dir/codec.cc.o.d"
+  "CMakeFiles/meshnet_http.dir/header_map.cc.o"
+  "CMakeFiles/meshnet_http.dir/header_map.cc.o.d"
+  "CMakeFiles/meshnet_http.dir/message.cc.o"
+  "CMakeFiles/meshnet_http.dir/message.cc.o.d"
+  "libmeshnet_http.a"
+  "libmeshnet_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

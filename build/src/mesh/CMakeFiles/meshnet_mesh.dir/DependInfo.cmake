@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/builtin_filters.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/builtin_filters.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/builtin_filters.cc.o.d"
+  "/root/repo/src/mesh/circuit_breaker.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/circuit_breaker.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/circuit_breaker.cc.o.d"
+  "/root/repo/src/mesh/control_plane.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/control_plane.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/control_plane.cc.o.d"
+  "/root/repo/src/mesh/filter.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/filter.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/filter.cc.o.d"
+  "/root/repo/src/mesh/http_client.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/http_client.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/http_client.cc.o.d"
+  "/root/repo/src/mesh/load_balancer.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/load_balancer.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/load_balancer.cc.o.d"
+  "/root/repo/src/mesh/sidecar.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/sidecar.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/sidecar.cc.o.d"
+  "/root/repo/src/mesh/telemetry.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/telemetry.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/telemetry.cc.o.d"
+  "/root/repo/src/mesh/tracing.cc" "src/mesh/CMakeFiles/meshnet_mesh.dir/tracing.cc.o" "gcc" "src/mesh/CMakeFiles/meshnet_mesh.dir/tracing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/meshnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/meshnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/meshnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/meshnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/meshnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meshnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/meshnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_mesh.dir/builtin_filters.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/builtin_filters.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/circuit_breaker.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/circuit_breaker.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/control_plane.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/control_plane.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/filter.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/filter.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/http_client.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/http_client.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/load_balancer.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/load_balancer.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/sidecar.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/sidecar.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/telemetry.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/telemetry.cc.o.d"
+  "CMakeFiles/meshnet_mesh.dir/tracing.cc.o"
+  "CMakeFiles/meshnet_mesh.dir/tracing.cc.o.d"
+  "libmeshnet_mesh.a"
+  "libmeshnet_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

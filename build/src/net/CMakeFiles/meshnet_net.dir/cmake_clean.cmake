@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_net.dir/address.cc.o"
+  "CMakeFiles/meshnet_net.dir/address.cc.o.d"
+  "CMakeFiles/meshnet_net.dir/link.cc.o"
+  "CMakeFiles/meshnet_net.dir/link.cc.o.d"
+  "CMakeFiles/meshnet_net.dir/network.cc.o"
+  "CMakeFiles/meshnet_net.dir/network.cc.o.d"
+  "CMakeFiles/meshnet_net.dir/qdisc.cc.o"
+  "CMakeFiles/meshnet_net.dir/qdisc.cc.o.d"
+  "libmeshnet_net.a"
+  "libmeshnet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_sim.dir/random.cc.o"
+  "CMakeFiles/meshnet_sim.dir/random.cc.o.d"
+  "CMakeFiles/meshnet_sim.dir/simulator.cc.o"
+  "CMakeFiles/meshnet_sim.dir/simulator.cc.o.d"
+  "libmeshnet_sim.a"
+  "libmeshnet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_stats.dir/histogram.cc.o"
+  "CMakeFiles/meshnet_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/meshnet_stats.dir/running_stats.cc.o"
+  "CMakeFiles/meshnet_stats.dir/running_stats.cc.o.d"
+  "CMakeFiles/meshnet_stats.dir/table.cc.o"
+  "CMakeFiles/meshnet_stats.dir/table.cc.o.d"
+  "libmeshnet_stats.a"
+  "libmeshnet_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

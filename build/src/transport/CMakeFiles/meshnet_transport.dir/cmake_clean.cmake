@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_transport.dir/congestion.cc.o"
+  "CMakeFiles/meshnet_transport.dir/congestion.cc.o.d"
+  "CMakeFiles/meshnet_transport.dir/connection.cc.o"
+  "CMakeFiles/meshnet_transport.dir/connection.cc.o.d"
+  "CMakeFiles/meshnet_transport.dir/transport_host.cc.o"
+  "CMakeFiles/meshnet_transport.dir/transport_host.cc.o.d"
+  "libmeshnet_transport.a"
+  "libmeshnet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_util.dir/flags.cc.o"
+  "CMakeFiles/meshnet_util.dir/flags.cc.o.d"
+  "CMakeFiles/meshnet_util.dir/logging.cc.o"
+  "CMakeFiles/meshnet_util.dir/logging.cc.o.d"
+  "CMakeFiles/meshnet_util.dir/strings.cc.o"
+  "CMakeFiles/meshnet_util.dir/strings.cc.o.d"
+  "libmeshnet_util.a"
+  "libmeshnet_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meshnet_workload.dir/elibrary_experiment.cc.o"
+  "CMakeFiles/meshnet_workload.dir/elibrary_experiment.cc.o.d"
+  "CMakeFiles/meshnet_workload.dir/generator.cc.o"
+  "CMakeFiles/meshnet_workload.dir/generator.cc.o.d"
+  "CMakeFiles/meshnet_workload.dir/recorder.cc.o"
+  "CMakeFiles/meshnet_workload.dir/recorder.cc.o.d"
+  "libmeshnet_workload.a"
+  "libmeshnet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meshnet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_client_test.dir/http_client_test.cc.o"
+  "CMakeFiles/http_client_test.dir/http_client_test.cc.o.d"
+  "http_client_test"
+  "http_client_test.pdb"
+  "http_client_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_client_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/net_test.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/net_test.dir/net_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/meshnet_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/meshnet_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/meshnet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/meshnet_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/meshnet_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/meshnet_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/meshnet_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/meshnet_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/meshnet_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/meshnet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/meshnet_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transport_property_test.dir/transport_property_test.cc.o"
+  "CMakeFiles/transport_property_test.dir/transport_property_test.cc.o.d"
+  "transport_property_test"
+  "transport_property_test.pdb"
+  "transport_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transport_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
