@@ -84,7 +84,10 @@ void Microservice::admit(http::HttpRequest request,
   };
   HandlerResult plan = handler_(request);
   auto shared_req = std::make_shared<http::HttpRequest>(std::move(request));
-  const sim::Duration delay = plan.processing_delay;
+  // A degraded pod (fault injection) serves each request proportionally
+  // slower; the factor is sampled at admission, like a CPU-starved worker.
+  const sim::Duration delay = static_cast<sim::Duration>(
+      static_cast<double>(plan.processing_delay) * pod_.compute_multiplier());
   sim_.schedule_after(delay, [this, shared_req = std::move(shared_req),
                               plan = std::move(plan),
                               respond = std::move(respond)]() mutable {

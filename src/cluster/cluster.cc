@@ -65,6 +65,8 @@ Pod& Cluster::add_pod(const std::string& node, const std::string& pod_name,
   auto pod = std::make_unique<Pod>(*this, pod_name, service, ip, loc,
                                    &egress, &ingress);
   Pod& ref = *pod;
+  ref.service_port_ = service_port;
+  ref.labels_ = std::move(options.labels);
   pods_.push_back(std::move(pod));
 
   if (!service.empty() && service_port != 0) {
@@ -72,7 +74,7 @@ Pod& Cluster::add_pod(const std::string& node, const std::string& pod_name,
     ep.pod_name = pod_name;
     ep.ip = ip;
     ep.port = service_port;
-    ep.labels = std::move(options.labels);
+    ep.labels = ref.labels_;
     registry_.add_endpoint(service, std::move(ep));
   }
   MESHNET_DEBUG() << "pod " << pod_name << " @ " << net::ip_to_string(ip)
@@ -85,6 +87,40 @@ Pod* Cluster::find_pod(const std::string& name) {
     if (pod->name() == name) return pod.get();
   }
   return nullptr;
+}
+
+bool Cluster::crash_pod(const std::string& name) {
+  Pod* pod = find_pod(name);
+  if (pod == nullptr || !pod->running_) return false;
+  pod->running_ = false;
+  pod->egress_link().set_up(false);
+  pod->ingress_link().set_up(false);
+  MESHNET_DEBUG() << "pod " << name << " crashed";
+  return true;
+}
+
+bool Cluster::deregister_pod(const std::string& name) {
+  Pod* pod = find_pod(name);
+  if (pod == nullptr || pod->service().empty()) return false;
+  return registry_.remove_endpoint(pod->service(), name);
+}
+
+bool Cluster::restart_pod(const std::string& name) {
+  Pod* pod = find_pod(name);
+  if (pod == nullptr || pod->running_) return false;
+  pod->running_ = true;
+  pod->egress_link().set_up(true);
+  pod->ingress_link().set_up(true);
+  if (!pod->service().empty() && pod->service_port_ != 0) {
+    Endpoint ep;
+    ep.pod_name = name;
+    ep.ip = pod->ip();
+    ep.port = pod->service_port_;
+    ep.labels = pod->labels_;
+    registry_.add_endpoint(pod->service(), std::move(ep));
+  }
+  MESHNET_DEBUG() << "pod " << name << " restarted";
+  return true;
 }
 
 }  // namespace meshnet::cluster

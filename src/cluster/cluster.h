@@ -51,6 +51,17 @@ class Pod {
   net::IpAddress ip() const noexcept { return ip_; }
   net::LocationId location() const noexcept { return location_; }
 
+  /// False while the pod is crashed (vNICs down, packets blackholed).
+  bool running() const noexcept { return running_; }
+
+  /// Degradation factor applied to the app container's processing delay
+  /// (1.0 = healthy; the fault layer raises it to model CPU starvation /
+  /// noisy neighbours). Apps read it at admission time.
+  double compute_multiplier() const noexcept { return compute_multiplier_; }
+  void set_compute_multiplier(double multiplier) noexcept {
+    compute_multiplier_ = multiplier < 0.0 ? 0.0 : multiplier;
+  }
+
   /// The pod's "kernel": listen/connect through this.
   transport::TransportHost& transport() noexcept { return *transport_; }
 
@@ -68,6 +79,11 @@ class Pod {
   net::Link* egress_;
   net::Link* ingress_;
   std::unique_ptr<transport::TransportHost> transport_;
+  // Registration snapshot so a restarted pod can re-join its service.
+  net::Port service_port_ = 0;
+  std::map<std::string, std::string> labels_;
+  bool running_ = true;
+  double compute_multiplier_ = 1.0;
 };
 
 struct ClusterConfig {
@@ -101,6 +117,25 @@ class Cluster {
 
   Pod* find_pod(const std::string& name);
   const std::vector<std::unique_ptr<Pod>>& pods() const { return pods_; }
+
+  // --- Pod lifecycle (the fault layer's kubelet) ----------------------
+  //
+  // crash_pod models a hard failure: both vNICs go down, so in-flight and
+  // future packets blackhole. It deliberately does NOT touch the service
+  // registry — detecting the failure is the job of health checking (fast
+  // path) or deregister_pod (the slow "node controller noticed" path).
+  // All three return false when no pod by that name exists (crash/restart
+  // additionally no-op when already in the requested state).
+
+  bool crash_pod(const std::string& name);
+
+  /// Removes the crashed pod's endpoint from the registry (endpoint
+  /// churn the control plane will push to every sidecar).
+  bool deregister_pod(const std::string& name);
+
+  /// Brings the vNICs back up and re-registers the endpoint with its
+  /// original port and labels.
+  bool restart_pod(const std::string& name);
 
   sim::Simulator& sim() noexcept { return sim_; }
   net::Network& network() noexcept { return network_; }

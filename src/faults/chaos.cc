@@ -1,0 +1,163 @@
+#include "faults/chaos.h"
+
+#include <utility>
+
+#include "util/logging.h"
+
+namespace meshnet::faults {
+
+std::string_view fault_action_name(FaultAction action) noexcept {
+  switch (action) {
+    case FaultAction::kLinkDown:
+      return "link-down";
+    case FaultAction::kLinkUp:
+      return "link-up";
+    case FaultAction::kLinkLoss:
+      return "link-loss";
+    case FaultAction::kCrashPod:
+      return "crash";
+    case FaultAction::kRestartPod:
+      return "restart";
+    case FaultAction::kDeregisterPod:
+      return "deregister";
+    case FaultAction::kDegradePod:
+      return "degrade";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::crash(sim::Time at, std::string pod) {
+  entries_.push_back({at, FaultAction::kCrashPod, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::restart(sim::Time at, std::string pod) {
+  entries_.push_back({at, FaultAction::kRestartPod, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::deregister(sim::Time at, std::string pod) {
+  entries_.push_back({at, FaultAction::kDeregisterPod, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::degrade(sim::Time at, std::string pod,
+                              double multiplier) {
+  entries_.push_back({at, FaultAction::kDegradePod, std::move(pod),
+                      multiplier});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_down(sim::Time at, std::string pod) {
+  entries_.push_back({at, FaultAction::kLinkDown, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_up(sim::Time at, std::string pod) {
+  entries_.push_back({at, FaultAction::kLinkUp, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::packet_loss(sim::Time from, sim::Time until,
+                                  std::string pod, double probability) {
+  entries_.push_back({from, FaultAction::kLinkLoss, pod, probability});
+  entries_.push_back({until, FaultAction::kLinkLoss, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::flap(sim::Time from, sim::Time until, std::string pod,
+                           sim::Duration period, sim::Duration downtime) {
+  for (sim::Time t = from; t < until; t += period) {
+    link_down(t, pod);
+    link_up(t + downtime, pod);
+  }
+  return *this;
+}
+
+ChaosController::ChaosController(sim::Simulator& sim,
+                                 cluster::Cluster& cluster, std::uint64_t seed)
+    : sim_(sim), cluster_(cluster), seed_(seed) {}
+
+void ChaosController::schedule(const FaultPlan& plan) {
+  for (const FaultEntry& entry : plan.entries()) {
+    sim_.schedule_at(entry.at, [this, entry] { apply(entry); });
+  }
+}
+
+bool ChaosController::apply(const FaultEntry& entry) {
+  return execute(entry.action, entry.target, entry.value);
+}
+
+bool ChaosController::set_link_up(const std::string& pod, bool up) {
+  return execute(up ? FaultAction::kLinkUp : FaultAction::kLinkDown, pod,
+                 0.0);
+}
+
+bool ChaosController::set_link_loss(const std::string& pod,
+                                    double probability) {
+  return execute(FaultAction::kLinkLoss, pod, probability);
+}
+
+bool ChaosController::crash_pod(const std::string& pod) {
+  return execute(FaultAction::kCrashPod, pod, 0.0);
+}
+
+bool ChaosController::restart_pod(const std::string& pod) {
+  return execute(FaultAction::kRestartPod, pod, 0.0);
+}
+
+bool ChaosController::deregister_pod(const std::string& pod) {
+  return execute(FaultAction::kDeregisterPod, pod, 0.0);
+}
+
+bool ChaosController::degrade_pod(const std::string& pod, double multiplier) {
+  return execute(FaultAction::kDegradePod, pod, multiplier);
+}
+
+bool ChaosController::execute(FaultAction action, const std::string& target,
+                              double value) {
+  bool applied = false;
+  cluster::Pod* pod = cluster_.find_pod(target);
+  if (pod != nullptr) {
+    switch (action) {
+      case FaultAction::kLinkDown:
+        pod->egress_link().set_up(false);
+        pod->ingress_link().set_up(false);
+        applied = true;
+        break;
+      case FaultAction::kLinkUp:
+        pod->egress_link().set_up(true);
+        pod->ingress_link().set_up(true);
+        applied = true;
+        break;
+      case FaultAction::kLinkLoss:
+        pod->egress_link().set_loss(value, seed_);
+        pod->ingress_link().set_loss(value, seed_);
+        applied = true;
+        break;
+      case FaultAction::kCrashPod:
+        applied = cluster_.crash_pod(target);
+        break;
+      case FaultAction::kRestartPod:
+        applied = cluster_.restart_pod(target);
+        break;
+      case FaultAction::kDeregisterPod:
+        applied = cluster_.deregister_pod(target);
+        break;
+      case FaultAction::kDegradePod:
+        pod->set_compute_multiplier(value);
+        applied = true;
+        break;
+    }
+  }
+  FaultLogEntry logged{sim_.now(), action, target, value, applied};
+  if (!applied) {
+    MESHNET_WARN() << "chaos: " << fault_action_name(action) << " on "
+                   << target << " did not apply";
+  }
+  log_.push_back(logged);
+  if (hook_) hook_(log_.back());
+  return applied;
+}
+
+}  // namespace meshnet::faults

@@ -1,0 +1,131 @@
+#pragma once
+
+// The fault-injection layer: a declarative FaultPlan (what breaks, when)
+// executed by a ChaosController against the cluster substrate.
+//
+// Injectable faults:
+//   - link down/up on a pod's vNIC pair (a flap is a down/up series),
+//   - Bernoulli packet loss on a pod's vNIC pair,
+//   - pod crash (vNICs blackhole; registry untouched — detection is the
+//     mesh's job) / deregister (the slow node-controller path) / restart,
+//   - pod degradation (app service time multiplied).
+//
+// Determinism: every action fires at a fixed simulated time, and the only
+// randomness (per-packet loss draws) comes from named RngStreams derived
+// from the plan seed — so the same seed yields an identical event log,
+// which is what makes chaos results reproducible and A/B-comparable.
+// Request-level faults (aborts/delays) live in mesh/fault_filter.h; this
+// layer owns infrastructure faults.
+//
+// The layering is strict: faults/ sees cluster/ and net/, never mesh/.
+// Experiments forward the controller's event hook into mesh telemetry.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace meshnet::faults {
+
+enum class FaultAction {
+  kLinkDown,
+  kLinkUp,
+  kLinkLoss,    ///< value = loss probability (0 clears)
+  kCrashPod,
+  kRestartPod,
+  kDeregisterPod,
+  kDegradePod,  ///< value = compute multiplier (1.0 restores)
+};
+
+std::string_view fault_action_name(FaultAction action) noexcept;
+
+/// One scheduled fault. `target` is a pod name; link actions apply to the
+/// pod's vNIC pair (both directions).
+struct FaultEntry {
+  sim::Time at = 0;
+  FaultAction action = FaultAction::kLinkDown;
+  std::string target;
+  double value = 0.0;
+};
+
+/// A declarative chaos schedule, built fluently and handed to a
+/// ChaosController. Entries may be added in any order; the controller
+/// schedules each at its absolute time.
+class FaultPlan {
+ public:
+  FaultPlan& crash(sim::Time at, std::string pod);
+  FaultPlan& restart(sim::Time at, std::string pod);
+  FaultPlan& deregister(sim::Time at, std::string pod);
+  FaultPlan& degrade(sim::Time at, std::string pod, double multiplier);
+  FaultPlan& link_down(sim::Time at, std::string pod);
+  FaultPlan& link_up(sim::Time at, std::string pod);
+  /// Bernoulli packet loss on the pod's vNICs during [from, until).
+  FaultPlan& packet_loss(sim::Time from, sim::Time until, std::string pod,
+                         double probability);
+  /// Periodic flapping: the pod's vNICs go down at `from`, `from+period`,
+  /// ... while before `until`, staying down for `downtime` each cycle.
+  FaultPlan& flap(sim::Time from, sim::Time until, std::string pod,
+                  sim::Duration period, sim::Duration downtime);
+
+  const std::vector<FaultEntry>& entries() const noexcept { return entries_; }
+  bool empty() const noexcept { return entries_.empty(); }
+
+ private:
+  std::vector<FaultEntry> entries_;
+};
+
+/// A fault the controller actually executed (or failed to — unknown pod).
+struct FaultLogEntry {
+  sim::Time at = 0;
+  FaultAction action = FaultAction::kLinkDown;
+  std::string target;
+  double value = 0.0;
+  bool applied = false;
+};
+
+class ChaosController {
+ public:
+  /// Observes every executed fault (experiments forward this into mesh
+  /// telemetry as "fault" events).
+  using FaultHook = std::function<void(const FaultLogEntry& entry)>;
+
+  ChaosController(sim::Simulator& sim, cluster::Cluster& cluster,
+                  std::uint64_t seed = 0);
+
+  /// Schedules every entry of `plan` at its absolute time. May be called
+  /// multiple times (plans compose).
+  void schedule(const FaultPlan& plan);
+
+  // Immediate actions (also what scheduled entries call). Each returns
+  // whether the fault applied (pod exists, state change happened), and
+  // appends to the log either way.
+  bool apply(const FaultEntry& entry);
+  bool set_link_up(const std::string& pod, bool up);
+  bool set_link_loss(const std::string& pod, double probability);
+  bool crash_pod(const std::string& pod);
+  bool restart_pod(const std::string& pod);
+  bool deregister_pod(const std::string& pod);
+  bool degrade_pod(const std::string& pod, double multiplier);
+
+  void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
+
+  /// Chronological record of every executed action — the determinism
+  /// contract: same seed + same plan => identical log.
+  const std::vector<FaultLogEntry>& log() const noexcept { return log_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  bool execute(FaultAction action, const std::string& target, double value);
+
+  sim::Simulator& sim_;
+  cluster::Cluster& cluster_;
+  std::uint64_t seed_;
+  FaultHook hook_;
+  std::vector<FaultLogEntry> log_;
+};
+
+}  // namespace meshnet::faults

@@ -24,8 +24,8 @@ bool CircuitBreaker::allow_request(sim::Time now) {
       return true;
     case CircuitState::kOpen:
       if (now - opened_at_ >= config_.open_duration) {
-        state_ = CircuitState::kHalfOpen;
         probes_in_flight_ = 0;
+        transition(CircuitState::kHalfOpen, now);
       } else {
         return false;
       }
@@ -40,12 +40,12 @@ bool CircuitBreaker::allow_request(sim::Time now) {
   return true;
 }
 
-void CircuitBreaker::on_success(sim::Time /*now*/) {
+void CircuitBreaker::on_success(sim::Time now) {
   if (config_.consecutive_failures == 0) return;
   failures_ = 0;
   if (state_ == CircuitState::kHalfOpen) {
-    state_ = CircuitState::kClosed;
     probes_in_flight_ = 0;
+    transition(CircuitState::kClosed, now);
   }
 }
 
@@ -62,11 +62,17 @@ void CircuitBreaker::on_failure(sim::Time now) {
 }
 
 void CircuitBreaker::open(sim::Time now) {
-  state_ = CircuitState::kOpen;
   opened_at_ = now;
   failures_ = 0;
   probes_in_flight_ = 0;
   ++times_opened_;
+  transition(CircuitState::kOpen, now);
+}
+
+void CircuitBreaker::transition(CircuitState to, sim::Time at) {
+  const CircuitState from = state_;
+  state_ = to;
+  if (transition_hook_ && from != to) transition_hook_(from, to, at);
 }
 
 }  // namespace meshnet::mesh

@@ -11,6 +11,7 @@
 // a probe failure re-opens it.
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "sim/time.h"
@@ -44,8 +45,17 @@ class CircuitBreaker {
   std::uint32_t consecutive_failures() const noexcept { return failures_; }
   std::uint64_t times_opened() const noexcept { return times_opened_; }
 
+  /// Observes every state transition (telemetry wiring). Fires after the
+  /// new state is in effect.
+  using TransitionHook =
+      std::function<void(CircuitState from, CircuitState to, sim::Time at)>;
+  void set_transition_hook(TransitionHook hook) {
+    transition_hook_ = std::move(hook);
+  }
+
  private:
   void open(sim::Time now);
+  void transition(CircuitState to, sim::Time at);
 
   CircuitBreakerConfig config_;
   CircuitState state_ = CircuitState::kClosed;
@@ -53,6 +63,7 @@ class CircuitBreaker {
   std::uint32_t probes_in_flight_ = 0;
   sim::Time opened_at_ = 0;
   std::uint64_t times_opened_ = 0;
+  TransitionHook transition_hook_;
 };
 
 }  // namespace meshnet::mesh

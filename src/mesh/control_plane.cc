@@ -85,6 +85,7 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
     spec.name = info->name;
     spec.endpoints = info->endpoints;
     spec.breaker = policies_.breaker;
+    spec.health_check = policies_.health_check;
     spec.lb = policies_.default_lb;
     const auto lb_it = policies_.lb_overrides.find(info->name);
     if (lb_it != policies_.lb_overrides.end()) spec.lb = lb_it->second;

@@ -39,6 +39,8 @@ struct MeshPolicies {
   LbPolicy default_lb = LbPolicy::kRoundRobin;
   RetryPolicy retry;
   CircuitBreakerConfig breaker;
+  /// Active health checking, applied to every cluster (off by default).
+  HealthCheckConfig health_check;
   sim::Duration request_timeout = sim::seconds(15);
   std::map<std::string, std::vector<std::string>> authorization;
   std::map<TrafficClass, TrafficClassPolicy> class_policies;

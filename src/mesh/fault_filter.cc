@@ -1,0 +1,42 @@
+#include "mesh/fault_filter.h"
+
+#include <utility>
+
+namespace meshnet::mesh {
+
+FaultInjectionFilter::FaultInjectionFilter(FaultFilterConfig config,
+                                           std::string stream_name)
+    : config_(std::move(config)), rng_(config_.seed, stream_name) {}
+
+FilterStatus FaultInjectionFilter::on_request(RequestContext& ctx) {
+  if (!config_.path_prefix.empty() &&
+      ctx.request.path.rfind(config_.path_prefix, 0) != 0) {
+    return FilterStatus::kContinue;
+  }
+  ++seen_;
+
+  // Envoy order: delay first, then abort — an aborted request still pays
+  // the injected delay, so delayed-abort scenarios compose.
+  if (config_.delay_fraction > 0.0 && rng_.bernoulli(config_.delay_fraction)) {
+    sim::Duration extra = config_.delay;
+    if (config_.delay_jitter_mean > 0) {
+      extra += static_cast<sim::Duration>(
+          rng_.exponential(static_cast<double>(config_.delay_jitter_mean)));
+    }
+    ctx.injected_delay += extra;
+    ++delays_;
+  }
+
+  if (config_.abort_fraction > 0.0 && rng_.bernoulli(config_.abort_fraction)) {
+    http::HttpResponse response;
+    response.status = config_.abort_status;
+    response.body = "fault injected";
+    response.headers.set("x-mesh-fault", "abort");
+    ctx.local_response = std::move(response);
+    ++aborts_;
+    return FilterStatus::kStopIteration;
+  }
+  return FilterStatus::kContinue;
+}
+
+}  // namespace meshnet::mesh

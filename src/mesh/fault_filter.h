@@ -1,0 +1,67 @@
+#pragma once
+
+// HTTP fault-injection filter (Envoy's `fault` filter, simplified).
+//
+// Injects two kinds of faults into requests traversing the chain:
+//   - abort: short-circuit a sampled fraction of requests with a local
+//     error status, without ever contacting the upstream;
+//   - delay: impose a fixed (plus optional exponential) extra latency on
+//     a sampled fraction before the request proceeds.
+//
+// The draws come from a named RngStream so runs are deterministic and
+// adding the filter never perturbs other consumers of randomness. This is
+// the mesh-layer half of the chaos toolkit: link/pod faults live in
+// src/faults/, request-level faults live here, both seeded.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "mesh/filter.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace meshnet::mesh {
+
+struct FaultFilterConfig {
+  /// Fraction of matching requests aborted with `abort_status` ([0,1]).
+  double abort_fraction = 0.0;
+  int abort_status = 503;
+
+  /// Fraction of matching requests delayed ([0,1]).
+  double delay_fraction = 0.0;
+  /// Fixed component of the injected delay.
+  sim::Duration delay = 0;
+  /// Mean of an additional exponential component; 0 disables jitter.
+  sim::Duration delay_jitter_mean = 0;
+
+  /// Only requests whose path starts with this prefix are eligible.
+  /// Empty matches every request.
+  std::string path_prefix;
+
+  /// Run seed for the filter's RNG stream.
+  std::uint64_t seed = 0;
+};
+
+class FaultInjectionFilter final : public HttpFilter {
+ public:
+  /// `stream_name` disambiguates multiple fault filters in one run.
+  explicit FaultInjectionFilter(FaultFilterConfig config,
+                                std::string stream_name = "fault-filter");
+
+  std::string name() const override { return "fault_injection"; }
+  FilterStatus on_request(RequestContext& ctx) override;
+
+  std::uint64_t aborts_injected() const noexcept { return aborts_; }
+  std::uint64_t delays_injected() const noexcept { return delays_; }
+  std::uint64_t requests_seen() const noexcept { return seen_; }
+
+ private:
+  FaultFilterConfig config_;
+  sim::RngStream rng_;
+  std::uint64_t seen_ = 0;
+  std::uint64_t aborts_ = 0;
+  std::uint64_t delays_ = 0;
+};
+
+}  // namespace meshnet::mesh

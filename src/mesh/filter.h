@@ -52,8 +52,14 @@ struct RequestContext {
 
   sim::Time start_time = 0;
   int attempt = 0;
+  /// Previous retry backoff, threaded for decorrelated jitter.
+  sim::Duration prev_backoff = 0;
   Span span;
   bool span_active = false;
+
+  /// Set by the fault-injection filter: delay to impose before the
+  /// request proceeds upstream. The sidecar honours it after the chain.
+  sim::Duration injected_delay = 0;
 
   /// Set by a filter to short-circuit with a local reply (e.g. 403).
   std::optional<http::HttpResponse> local_response;

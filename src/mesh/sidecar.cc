@@ -14,7 +14,25 @@ Sidecar::Sidecar(sim::Simulator& sim, cluster::Pod& pod, Tracer& tracer,
       tracer_(tracer),
       telemetry_(telemetry),
       config_(std::move(config)),
-      overhead_rng_(0x5ecda, "sidecar:" + pod.name()) {}
+      overhead_rng_(0x5ecda, "sidecar:" + pod.name()),
+      retry_rng_(0x5ecdb, "retry:" + pod.name()) {}
+
+sim::Duration next_retry_backoff(const RetryPolicy& policy, int attempt,
+                                 sim::Duration prev, sim::RngStream& rng) {
+  const sim::Duration base = policy.backoff_base;
+  const sim::Duration cap = std::max(
+      base, policy.backoff_max > 0 ? policy.backoff_max : base * attempt);
+  if (!policy.backoff_jitter) {
+    return std::clamp(base * attempt, base, cap);
+  }
+  // AWS "decorrelated jitter": sleep = min(cap, uniform(base, 3 * prev)),
+  // seeded with prev = base on the first retry.
+  if (prev < base) prev = base;
+  const double hi = 3.0 * static_cast<double>(prev);
+  const auto sleep = static_cast<sim::Duration>(
+      rng.uniform(static_cast<double>(base), hi));
+  return std::clamp(sleep, base, cap);
+}
 
 sim::Duration Sidecar::proxy_delay() {
   sim::Duration delay = config_.proxy_overhead_base;
@@ -46,6 +64,18 @@ void Sidecar::start() {
   host.listen(config_.outbound_port, [this](transport::Connection& conn) {
     accept_session(conn, FilterDirection::kOutbound);
   });
+  health_checker_ = std::make_unique<HealthChecker>(
+      sim_, host, config_.service_name + "@" + pod_.name(), 0x6ea17);
+  health_checker_->set_transition_hook(
+      [this](const std::string& cluster, const std::string& pod_name,
+             bool healthy, sim::Time at) {
+        if (telemetry_ == nullptr) return;
+        telemetry_->record_event(
+            at, "health",
+            config_.service_name + "->" + cluster + "/" + pod_name,
+            healthy ? "readmitted" : "evicted");
+      });
+  sync_health_targets();
 }
 
 void Sidecar::apply_config(SidecarConfig config) {
@@ -58,6 +88,19 @@ void Sidecar::apply_config(SidecarConfig config) {
   config_ = std::move(config);
   // Balancers are rebuilt lazily so a changed LB policy takes effect.
   balancers_.clear();
+  sync_health_targets();
+}
+
+void Sidecar::sync_health_targets() {
+  if (!health_checker_) return;
+  std::vector<std::string> names;
+  names.reserve(config_.clusters.size());
+  for (const auto& [name, spec] : config_.clusters) {
+    names.push_back(name);
+    health_checker_->update_targets(name, spec.health_check, spec.endpoints,
+                                    config_.inbound_port);
+  }
+  health_checker_->retain_clusters(names);
 }
 
 std::uint64_t Sidecar::active_requests_to(const std::string& pod_name) const {
@@ -74,7 +117,18 @@ CircuitBreaker& Sidecar::breaker_for(const std::string& cluster_name,
   CircuitBreakerConfig cfg =
       spec_it == config_.clusters.end() ? CircuitBreakerConfig{}
                                         : spec_it->second.breaker;
-  return breakers_.emplace(key, CircuitBreaker(cfg)).first->second;
+  CircuitBreaker& breaker =
+      breakers_.emplace(key, CircuitBreaker(cfg)).first->second;
+  if (telemetry_ != nullptr) {
+    breaker.set_transition_hook(
+        [this, key](CircuitState from, CircuitState to, sim::Time at) {
+          telemetry_->record_event(
+              at, "breaker", config_.service_name + "->" + key,
+              std::string(circuit_state_name(from)) + "->" +
+                  std::string(circuit_state_name(to)));
+        });
+  }
+  return breaker;
 }
 
 void Sidecar::accept_session(transport::Connection& conn,
@@ -105,6 +159,7 @@ void Sidecar::accept_session(transport::Connection& conn,
     if (it == sessions_.end()) return;
     ServerSession& s = *it->second;
     if (s.try_timer != sim::kInvalidEventId) sim_.cancel(s.try_timer);
+    if (s.deadline_timer != sim::kInvalidEventId) sim_.cancel(s.deadline_timer);
     if (s.busy && s.upstream_pool != nullptr && s.upstream_req != 0) {
       s.upstream_pool->cancel(s.upstream_req);
     }
@@ -165,6 +220,21 @@ void Sidecar::process_request_now(std::uint64_t session_id,
   ctx->source_service =
       ctx->request.headers.get_or("x-mesh-source", "");
 
+  // Health probes are answered by the sidecar itself, before the filter
+  // chain (authorization must not 403 them) and without touching the app:
+  // the probe's question is "is this pod's sidecar alive and reachable",
+  // and a crashed pod takes its sidecar down with it.
+  if (direction == FilterDirection::kInbound &&
+      ctx->request.path == kHealthCheckPath) {
+    ++stats_.health_probes_answered;
+    http::HttpResponse response;
+    response.status = 200;
+    response.body = "ok";
+    response.headers.set("x-served-by", config_.service_name + "-sidecar");
+    respond_to_session(session_id, ctx, std::move(response));
+    return;
+  }
+
   const FilterChain& chain = direction == FilterDirection::kInbound
                                  ? inbound_chain_
                                  : outbound_chain_;
@@ -178,11 +248,36 @@ void Sidecar::process_request_now(std::uint64_t session_id,
     http::HttpResponse response =
         ctx->local_response ? std::move(*ctx->local_response)
                             : make_local_response(403, "filter denied");
-    chain.run_response(*ctx, response);
-    respond_to_session(session_id, ctx, std::move(response));
+    auto deliver = [this, session_id, ctx, direction,
+                    response = std::move(response)]() mutable {
+      const FilterChain& c = direction == FilterDirection::kInbound
+                                 ? inbound_chain_
+                                 : outbound_chain_;
+      c.run_response(*ctx, response);
+      respond_to_session(session_id, ctx, std::move(response));
+    };
+    // A delayed abort (fault filter) still pays the injected delay.
+    if (ctx->injected_delay > 0) {
+      sim_.schedule_after(ctx->injected_delay, std::move(deliver));
+    } else {
+      deliver();
+    }
     return;
   }
 
+  if (ctx->injected_delay > 0) {
+    sim_.schedule_after(ctx->injected_delay,
+                        [this, session_id, ctx, direction]() mutable {
+                          continue_request(session_id, std::move(ctx),
+                                           direction);
+                        });
+    return;
+  }
+  continue_request(session_id, std::move(ctx), direction);
+}
+
+void Sidecar::continue_request(std::uint64_t session_id, Ctx ctx,
+                               FilterDirection direction) {
   if (direction == FilterDirection::kInbound) {
     forward_to_app(session_id, std::move(ctx));
   } else {
@@ -201,6 +296,11 @@ void Sidecar::respond_to_session(std::uint64_t session_id, const Ctx& /*ctx*/,
     sim_.cancel(session.try_timer);
     session.try_timer = sim::kInvalidEventId;
   }
+  if (session.deadline_timer != sim::kInvalidEventId) {
+    sim_.cancel(session.deadline_timer);
+    session.deadline_timer = sim::kInvalidEventId;
+  }
+  ++session.request_seq;
   // Charge the proxy's response-path processing cost before the bytes hit
   // the wire.
   const sim::Duration delay = proxy_delay();
@@ -249,9 +349,27 @@ const ClusterSpec* Sidecar::resolve_cluster(const std::string& host) const {
 
 std::vector<const cluster::Endpoint*> Sidecar::eligible_endpoints(
     const ClusterSpec& spec, const RequestContext& ctx) {
+  // Active health checking narrows the candidate set first; if *every*
+  // endpoint is evicted, panic-route over the full set (Envoy's panic
+  // threshold, degenerate form) — probes can be wrong, a guaranteed 503
+  // never is right.
+  std::vector<const cluster::Endpoint*> considered;
+  for (const cluster::Endpoint& ep : spec.endpoints) {
+    if (!spec.health_check.enabled || health_checker_ == nullptr ||
+        health_checker_->healthy(spec.name, ep.pod_name)) {
+      considered.push_back(&ep);
+    }
+  }
+  if (considered.empty()) {
+    for (const cluster::Endpoint& ep : spec.endpoints) {
+      considered.push_back(&ep);
+    }
+  }
+
   std::vector<const cluster::Endpoint*> subset_matched;
   std::vector<const cluster::Endpoint*> all;
-  for (const cluster::Endpoint& ep : spec.endpoints) {
+  for (const cluster::Endpoint* ep_ptr : considered) {
+    const cluster::Endpoint& ep = *ep_ptr;
     all.push_back(&ep);
     bool matches = true;
     for (const auto& [key, value] : ctx.subset) {
@@ -331,7 +449,49 @@ void Sidecar::route_and_forward(std::uint64_t session_id, Ctx ctx) {
   const auto it = sessions_.find(session_id);
   if (it == sessions_.end()) return;
   it->second->deadline = sim_.now() + config_.request_timeout;
+  // The end-to-end deadline is an armed timer, not a lazy check: it must
+  // fire even when the request is parked on a dead upstream with no retry
+  // configured to re-enter the attempt path.
+  if (config_.request_timeout > 0) {
+    const std::uint64_t seq = it->second->request_seq;
+    it->second->deadline_timer = sim_.schedule_after(
+        config_.request_timeout, [this, session_id, ctx, seq] {
+          on_request_deadline(session_id, ctx, seq);
+        });
+  }
   attempt_upstream(session_id, std::move(ctx));
+}
+
+void Sidecar::on_request_deadline(std::uint64_t session_id, Ctx ctx,
+                                  std::uint64_t seq) {
+  const auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) return;
+  ServerSession& s = *it->second;
+  if (s.request_seq != seq) return;  // request already answered
+  s.deadline_timer = sim::kInvalidEventId;
+  ++stats_.timeouts;
+  if (s.upstream_pool != nullptr && s.upstream_req != 0) {
+    s.upstream_pool->cancel(s.upstream_req);
+    s.upstream_pool = nullptr;
+    s.upstream_req = 0;
+    // Unwind through the normal result path so per-endpoint/per-cluster
+    // accounting and the breaker see the failure; the deadline check
+    // there suppresses any retry.
+    on_upstream_result(session_id, ctx, s.upstream_cluster,
+                       s.upstream_endpoint, std::nullopt,
+                       "request deadline exceeded");
+    return;
+  }
+  // Between attempts (retry backoff): nothing in flight to unwind.
+  http::HttpResponse response =
+      make_local_response(504, "request deadline exceeded");
+  if (telemetry_ != nullptr) {
+    telemetry_->record_request(config_.service_name, ctx->upstream_cluster,
+                               response.status, sim_.now() - ctx->start_time,
+                               ctx->attempt);
+  }
+  outbound_chain_.run_response(*ctx, response);
+  respond_to_session(session_id, ctx, std::move(response));
 }
 
 void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
@@ -387,9 +547,13 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
   HttpClientPool& pool =
       pool_for(*chosen, ctx->traffic_class, config_.inbound_port);
   ++active_per_endpoint_[chosen->pod_name];
+  ++inflight_per_cluster_[spec.name];
+  if (ctx->attempt > 0) ++inflight_retries_per_cluster_[spec.name];
 
   const std::string endpoint_pod = chosen->pod_name;
   const std::string cluster_name = spec.name;
+  session.upstream_cluster = cluster_name;
+  session.upstream_endpoint = endpoint_pod;
   session.upstream_pool = &pool;
   session.upstream_req = pool.request(
       ctx->request,
@@ -437,6 +601,12 @@ void Sidecar::on_upstream_result(std::uint64_t session_id, Ctx ctx,
   }
   auto& active = active_per_endpoint_[endpoint_pod];
   if (active > 0) --active;
+  auto& inflight = inflight_per_cluster_[cluster_name];
+  if (inflight > 0) --inflight;
+  if (ctx->attempt > 0) {
+    auto& inflight_retries = inflight_retries_per_cluster_[cluster_name];
+    if (inflight_retries > 0) --inflight_retries;
+  }
 
   CircuitBreaker& breaker = breaker_for(cluster_name, endpoint_pod);
   const bool success = response.has_value() && response->status < 500;
@@ -452,19 +622,42 @@ void Sidecar::on_upstream_result(std::uint64_t session_id, Ctx ctx,
   const bool retryable = (failed_transport && retry.retry_on_reset) ||
                          (failed_5xx && retry.retry_on_5xx);
   if (retryable && ctx->attempt < retry.max_retries &&
-      sess_it != sessions_.end()) {
-    ++ctx->attempt;
-    ++stats_.upstream_retries;
-    const sim::Duration backoff = retry.backoff_base * ctx->attempt;
-    sim_.schedule_after(backoff, [this, session_id, ctx] {
-      attempt_upstream(session_id, ctx);
-    });
-    return;
+      sess_it != sessions_.end() && sim_.now() < sess_it->second->deadline) {
+    // Retry budget: active retries may be at most `retry_budget` of the
+    // cluster's in-flight requests (with a small floor). Past it, the
+    // failure is returned rather than amplified (Envoy's retry_budget).
+    bool budget_ok = true;
+    if (retry.retry_budget > 0.0) {
+      const double allowed = std::max(
+          retry.retry_budget * static_cast<double>(inflight),
+          static_cast<double>(retry.retry_budget_min_concurrency));
+      budget_ok =
+          static_cast<double>(inflight_retries_per_cluster_[cluster_name]) <
+          allowed;
+      if (!budget_ok) ++stats_.retries_denied_by_budget;
+    }
+    if (budget_ok) {
+      ++ctx->attempt;
+      ++stats_.upstream_retries;
+      const sim::Duration backoff = next_retry_backoff(
+          retry, ctx->attempt, ctx->prev_backoff, retry_rng_);
+      ctx->prev_backoff = backoff;
+      const std::uint64_t seq = sess_it->second->request_seq;
+      sim_.schedule_after(backoff, [this, session_id, ctx, seq] {
+        const auto it = sessions_.find(session_id);
+        if (it == sessions_.end() || it->second->request_seq != seq) return;
+        attempt_upstream(session_id, ctx);
+      });
+      return;
+    }
   }
 
+  const bool deadline_exceeded =
+      failed_transport && error == "request deadline exceeded";
   http::HttpResponse final_response =
       response ? std::move(*response)
-               : make_local_response(503, "upstream failed: " + error);
+               : make_local_response(deadline_exceeded ? 504 : 503,
+                                     "upstream failed: " + error);
   if (!success) ++stats_.upstream_failures;
 
   if (telemetry_ != nullptr) {

@@ -33,6 +33,7 @@
 #include "http/codec.h"
 #include "mesh/circuit_breaker.h"
 #include "mesh/filter.h"
+#include "mesh/health_checker.h"
 #include "mesh/http_client.h"
 #include "mesh/load_balancer.h"
 #include "mesh/telemetry.h"
@@ -49,7 +50,28 @@ struct RetryPolicy {
   bool retry_on_5xx = true;
   bool retry_on_reset = true;
   sim::Duration backoff_base = sim::milliseconds(2);
+  /// Cap on any single backoff sleep.
+  sim::Duration backoff_max = sim::milliseconds(250);
+  /// Decorrelated jitter (sleep = min(cap, uniform(base, 3*prev))) instead
+  /// of deterministic linear backoff — avoids synchronized retry storms.
+  bool backoff_jitter = true;
+
+  /// Retry budget: retries may be at most this fraction of the cluster's
+  /// in-flight requests (Envoy's retry_budget). 0 disables the budget and
+  /// falls back to pure max_retries accounting.
+  double retry_budget = 0.0;
+  /// Floor below which the budget never bites, so low-traffic clusters
+  /// can still retry at all.
+  std::uint32_t retry_budget_min_concurrency = 3;
 };
+
+/// Next retry sleep for attempt number `attempt` (1-based: the first
+/// retry passes 1). With jitter disabled this is the legacy linear
+/// `base * attempt`; with jitter it is AWS-style decorrelated jitter,
+/// where `prev` is the previous sleep (0 on the first retry). Both are
+/// clamped to [backoff_base, backoff_max].
+sim::Duration next_retry_backoff(const RetryPolicy& policy, int attempt,
+                                 sim::Duration prev, sim::RngStream& rng);
 
 struct ClusterSpec {
   std::string name;
@@ -59,6 +81,9 @@ struct ClusterSpec {
   /// When a subset constraint matches no endpoint, fall back to the full
   /// healthy set instead of failing (Envoy's ANY_ENDPOINT fallback).
   bool subset_fallback = true;
+  /// Active health checking for this cluster's endpoints (off by default;
+  /// the chaos experiments turn it on).
+  HealthCheckConfig health_check;
 };
 
 /// Per-traffic-class transport policy — where the cross-layer design
@@ -111,6 +136,8 @@ struct SidecarStats {
   std::uint64_t upstream_failures = 0;   ///< exhausted retries
   std::uint64_t local_responses = 0;     ///< filter short-circuits
   std::uint64_t timeouts = 0;
+  std::uint64_t retries_denied_by_budget = 0;
+  std::uint64_t health_probes_answered = 0;
 };
 
 class Sidecar {
@@ -144,6 +171,9 @@ class Sidecar {
   CircuitBreaker& breaker_for(const std::string& cluster_name,
                               const std::string& pod_name);
 
+  /// The active health checker (created in start(); null before).
+  HealthChecker* health_checker() noexcept { return health_checker_.get(); }
+
  private:
   struct ServerSession {
     std::uint64_t id = 0;
@@ -157,7 +187,13 @@ class Sidecar {
     sim::EventId try_timer = sim::kInvalidEventId;
     HttpClientPool* upstream_pool = nullptr;
     HttpClientPool::RequestId upstream_req = 0;
+    std::string upstream_cluster;
+    std::string upstream_endpoint;
     sim::Time deadline = 0;
+    sim::EventId deadline_timer = sim::kInvalidEventId;
+    // Bumped on every response; async timers and backoff wakeups captured
+    // for an earlier request compare against it and stand down.
+    std::uint64_t request_seq = 0;
   };
 
   struct PoolKey {
@@ -179,9 +215,14 @@ class Sidecar {
   sim::Duration proxy_delay();
   void respond_to_session(std::uint64_t session_id, const Ctx& ctx,
                           http::HttpResponse response);
+  void continue_request(std::uint64_t session_id, Ctx ctx,
+                        FilterDirection direction);
   void forward_to_app(std::uint64_t session_id, Ctx ctx);
   void route_and_forward(std::uint64_t session_id, Ctx ctx);
+  void sync_health_targets();
   void attempt_upstream(std::uint64_t session_id, Ctx ctx);
+  void on_request_deadline(std::uint64_t session_id, Ctx ctx,
+                           std::uint64_t seq);
   void on_upstream_result(std::uint64_t session_id, Ctx ctx,
                           const std::string& cluster_name,
                           const std::string& endpoint_pod,
@@ -213,7 +254,13 @@ class Sidecar {
   std::map<std::string, std::unique_ptr<LoadBalancer>> balancers_;
   std::map<std::string, std::uint64_t> active_per_endpoint_;
   std::map<std::string, CircuitBreaker> breakers_;
+  std::unique_ptr<HealthChecker> health_checker_;
+  /// Per-cluster in-flight upstream tries, and how many are retry tries
+  /// (attempt > 0) — the denominator/numerator of the retry budget.
+  std::map<std::string, std::uint64_t> inflight_per_cluster_;
+  std::map<std::string, std::uint64_t> inflight_retries_per_cluster_;
   sim::RngStream overhead_rng_;
+  sim::RngStream retry_rng_;
   bool started_ = false;
 };
 

@@ -9,10 +9,12 @@ void TelemetrySink::record_request(const std::string& source_service,
   EdgeMetrics& edge = edges_[{source_service, upstream_cluster}];
   ++edge.requests;
   ++total_requests_;
-  if (status >= 500 || status <= 0) {
+  const bool failed = status >= 500 || status <= 0;
+  if (failed) {
     ++edge.failures;
     ++total_failures_;
   }
+  availability_[upstream_cluster].record(!failed);
   edge.retries += static_cast<std::uint64_t>(retries < 0 ? 0 : retries);
   if (latency > 0) {
     edge.latency.record(static_cast<std::uint64_t>(latency));
@@ -34,8 +36,30 @@ std::vector<std::pair<std::string, std::string>> TelemetrySink::edges()
   return out;
 }
 
+const stats::SuccessRateCounter* TelemetrySink::cluster_availability(
+    const std::string& cluster) const {
+  const auto it = availability_.find(cluster);
+  return it == availability_.end() ? nullptr : &it->second;
+}
+
+void TelemetrySink::record_event(sim::Time at, std::string kind,
+                                 std::string subject, std::string detail) {
+  events_.push_back(MeshEvent{at, std::move(kind), std::move(subject),
+                              std::move(detail)});
+}
+
+std::uint64_t TelemetrySink::event_count(std::string_view kind) const {
+  std::uint64_t n = 0;
+  for (const MeshEvent& event : events_) {
+    if (event.kind == kind) ++n;
+  }
+  return n;
+}
+
 void TelemetrySink::clear() {
   edges_.clear();
+  availability_.clear();
+  events_.clear();
   total_requests_ = 0;
   total_failures_ = 0;
 }

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "stats/histogram.h"
+#include "stats/success_rate.h"
 #include "sim/time.h"
 
 namespace meshnet::mesh {
@@ -21,6 +23,17 @@ struct EdgeMetrics {
   std::uint64_t failures = 0;  ///< 5xx or transport errors
   std::uint64_t retries = 0;
   stats::LogHistogram latency{7};  ///< nanoseconds
+};
+
+/// A resilience state transition (breaker tripped, endpoint evicted by
+/// health checking, ...) reported by a sidecar. The kinds emitted by the
+/// mesh itself are "breaker" and "health"; the fault layer logs its own
+/// injections under "fault".
+struct MeshEvent {
+  sim::Time at = 0;
+  std::string kind;
+  std::string subject;  ///< e.g. "frontend->reviews/reviews-v1"
+  std::string detail;   ///< e.g. "closed->open", "evicted"
 };
 
 class TelemetrySink {
@@ -39,10 +52,24 @@ class TelemetrySink {
   std::uint64_t total_requests() const noexcept { return total_requests_; }
   std::uint64_t total_failures() const noexcept { return total_failures_; }
 
+  /// Per-upstream-cluster availability, aggregated over all callers;
+  /// nullptr if the cluster never served a request.
+  const stats::SuccessRateCounter* cluster_availability(
+      const std::string& cluster) const;
+
+  /// Records a resilience state transition.
+  void record_event(sim::Time at, std::string kind, std::string subject,
+                    std::string detail);
+
+  const std::vector<MeshEvent>& events() const noexcept { return events_; }
+  std::uint64_t event_count(std::string_view kind) const;
+
   void clear();
 
  private:
   std::map<std::pair<std::string, std::string>, EdgeMetrics> edges_;
+  std::map<std::string, stats::SuccessRateCounter> availability_;
+  std::vector<MeshEvent> events_;
   std::uint64_t total_requests_ = 0;
   std::uint64_t total_failures_ = 0;
 };

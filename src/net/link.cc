@@ -16,6 +16,15 @@ Link::Link(sim::Simulator& sim, std::string name, double rate_bits_per_second,
       qdisc_(std::move(qdisc)) {}
 
 void Link::send(Packet packet) {
+  if (!up_) {
+    ++stats_.down_drops;
+    return;
+  }
+  if (loss_probability_ > 0.0 && loss_rng_ &&
+      loss_rng_->bernoulli(loss_probability_)) {
+    ++stats_.loss_drops;
+    return;
+  }
   if (!qdisc_->enqueue(std::move(packet), sim_.now())) {
     MESHNET_DEBUG() << "link " << name_ << ": qdisc drop";
   }
@@ -26,13 +35,44 @@ void Link::set_qdisc(std::unique_ptr<Qdisc> qdisc) {
   qdisc_ = std::move(qdisc);
 }
 
+void Link::set_up(bool up) {
+  if (up == up_) return;
+  up_ = up;
+  if (!up_) {
+    ++stats_.carrier_losses;
+    // Backlogged packets die with the carrier (the driver's TX ring is
+    // flushed); the loss shows up to transports as missing ACKs.
+    while (auto packet = qdisc_->dequeue(sim_.now())) {
+      ++stats_.down_drops;
+    }
+    if (pending_retry_ != sim::kInvalidEventId) {
+      sim_.cancel(pending_retry_);
+      pending_retry_ = sim::kInvalidEventId;
+    }
+    MESHNET_DEBUG() << "link " << name_ << ": carrier down";
+  } else {
+    MESHNET_DEBUG() << "link " << name_ << ": carrier up";
+    try_transmit();
+  }
+}
+
+void Link::set_loss(double probability, std::uint64_t seed) {
+  if (probability <= 0.0) {
+    loss_probability_ = 0.0;
+    loss_rng_.reset();
+    return;
+  }
+  loss_probability_ = probability;
+  loss_rng_ = std::make_unique<sim::RngStream>(seed, "loss:" + name_);
+}
+
 double Link::utilization(sim::Time now) const noexcept {
   if (now <= 0) return 0.0;
   return static_cast<double>(stats_.busy_time) / static_cast<double>(now);
 }
 
 void Link::try_transmit() {
-  if (transmitting_) return;
+  if (transmitting_ || !up_) return;
   if (pending_retry_ != sim::kInvalidEventId) {
     sim_.cancel(pending_retry_);
     pending_retry_ = sim::kInvalidEventId;

@@ -13,6 +13,7 @@
 
 #include "net/packet.h"
 #include "net/qdisc.h"
+#include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -22,6 +23,9 @@ struct LinkStats {
   std::uint64_t delivered_packets = 0;
   std::uint64_t delivered_bytes = 0;
   sim::Duration busy_time = 0;  ///< Total transmission time so far.
+  std::uint64_t down_drops = 0;  ///< Packets lost while the link was down.
+  std::uint64_t loss_drops = 0;  ///< Packets lost to injected random loss.
+  std::uint64_t carrier_losses = 0;  ///< up->down transitions so far.
 };
 
 class Link {
@@ -42,6 +46,19 @@ class Link {
   /// Swaps the queueing discipline (models `tc qdisc replace`). Any
   /// backlogged packets in the old qdisc are dropped, as with real tc.
   void set_qdisc(std::unique_ptr<Qdisc> qdisc);
+
+  /// Carrier control (the fault layer's `ip link set down/up`). Taking the
+  /// link down discards the qdisc backlog and blackholes every subsequent
+  /// send; bits already serialized onto the wire still arrive. Bringing it
+  /// back up resumes transmission of whatever is enqueued afterwards.
+  void set_up(bool up);
+  bool is_up() const noexcept { return up_; }
+
+  /// Injects Bernoulli packet loss: each sent packet is dropped with
+  /// `probability` before it reaches the qdisc. The stream is seeded from
+  /// (seed, link name) so runs are reproducible. probability <= 0 clears.
+  void set_loss(double probability, std::uint64_t seed = 0);
+  double loss_probability() const noexcept { return loss_probability_; }
 
   Qdisc& qdisc() noexcept { return *qdisc_; }
   const Qdisc& qdisc() const noexcept { return *qdisc_; }
@@ -64,6 +81,9 @@ class Link {
   std::unique_ptr<Qdisc> qdisc_;
   std::function<void(Packet)> sink_;
   bool transmitting_ = false;
+  bool up_ = true;
+  double loss_probability_ = 0.0;
+  std::unique_ptr<sim::RngStream> loss_rng_;
   sim::EventId pending_retry_ = sim::kInvalidEventId;
   LinkStats stats_;
 };

@@ -1,0 +1,41 @@
+#pragma once
+
+// Success-rate bookkeeping for availability reporting. One counter per
+// tracked subject (an upstream cluster, a fault-window phase, ...). Kept
+// in stats/ rather than mesh/ because the chaos experiment and telemetry
+// both consume it.
+
+#include <cstdint>
+
+namespace meshnet::stats {
+
+class SuccessRateCounter {
+ public:
+  void record(bool success) noexcept {
+    ++total_;
+    if (!success) ++failures_;
+  }
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t failures() const noexcept { return failures_; }
+  std::uint64_t successes() const noexcept { return total_ - failures_; }
+
+  /// Fraction of recorded outcomes that succeeded; 1.0 when empty (an
+  /// untested subject is presumed available, matching SLO convention).
+  double success_rate() const noexcept {
+    if (total_ == 0) return 1.0;
+    return static_cast<double>(total_ - failures_) /
+           static_cast<double>(total_);
+  }
+
+  void reset() noexcept {
+    total_ = 0;
+    failures_ = 0;
+  }
+
+ private:
+  std::uint64_t total_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+}  // namespace meshnet::stats

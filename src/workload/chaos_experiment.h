@@ -1,0 +1,110 @@
+#pragma once
+
+// The chaos variant of the e-library experiment: the LS/LI workload mix
+// runs while a FaultPlan kills one reviews replica and flaps the
+// reviews->ratings bottleneck vNIC. LS goodput and latency are reported
+// for three phases — before, during and after the fault window — so the
+// resilience machinery's value shows up as "the during column barely
+// moves" with health checking + breakers + retry budgets on, and as a
+// goodput collapse with them off.
+//
+// Determinism: the whole run is a function of the config (seed included).
+// Same seed => identical fault log and mesh event log, which is what
+// makes a chaos result debuggable and regression-testable.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/elibrary.h"
+#include "faults/chaos.h"
+#include "mesh/telemetry.h"
+#include "workload/elibrary_experiment.h"
+#include "workload/generator.h"
+
+namespace meshnet::workload {
+
+struct ChaosExperimentConfig {
+  double ls_rps = 30.0;
+  double li_rps = 10.0;
+
+  sim::Duration warmup = sim::seconds(4);
+  sim::Duration duration = sim::seconds(24);  ///< measured window
+  sim::Duration cooldown = sim::seconds(4);
+  std::uint64_t seed = 42;
+  ArrivalProcess arrival = ArrivalProcess::kUniformRandom;
+
+  /// With resilience on, the mesh gets active health checking, circuit
+  /// breakers, per-try timeouts and budgeted retries; with it off, all of
+  /// those are disabled (max_retries = 0) — the "mesh as dumb pipe" arm.
+  bool resilience = true;
+
+  /// Fault window, relative to the start of the measured window.
+  sim::Duration fault_start_offset = sim::seconds(6);
+  sim::Duration fault_duration = sim::seconds(10);
+
+  /// Kill one reviews replica for the fault window (crash at start,
+  /// restart at end; the registry is never told — detection is active
+  /// health checking's job).
+  bool crash_reviews_replica = true;
+  std::string crash_target = "reviews-v1";
+
+  /// Flap the bottleneck (ratings vNIC): down `flap_downtime` out of
+  /// every `flap_period` during the fault window.
+  bool flap_bottleneck = true;
+  std::string flap_target = "ratings-v1";
+  sim::Duration flap_period = sim::seconds(2);
+  sim::Duration flap_downtime = sim::milliseconds(40);
+
+  /// End-to-end deadline at every sidecar. Deliberately shorter than the
+  /// fault window: requests the baseline arm parks on a crashed replica
+  /// must *fail* at the deadline, not ride it out until the restart.
+  sim::Duration request_timeout = sim::milliseconds(2500);
+
+  app::ElibraryOptions app;
+};
+
+/// LS-workload metrics over one phase of the run. Samples are bucketed by
+/// *scheduled* arrival time (wrk2 convention), so a request that arrived
+/// during the fault but straggled in later still charges the fault phase.
+struct PhaseSummary {
+  std::string name;
+  std::uint64_t scheduled = 0;  ///< arrivals whose intended time is in-phase
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  double success_rate = 1.0;  ///< completed / (completed + errors)
+  double goodput_rps = 0.0;   ///< successful completions / phase length
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+struct ChaosExperimentResult {
+  PhaseSummary before;
+  PhaseSummary during;
+  PhaseSummary after;
+
+  WorkloadSummary ls;  ///< whole measured window
+  WorkloadSummary li;
+
+  std::uint64_t breaker_events = 0;  ///< breaker state transitions
+  std::uint64_t health_events = 0;   ///< evictions + readmissions
+  std::uint64_t health_evictions = 0;
+  std::uint64_t health_readmissions = 0;
+  std::uint64_t retries_denied_by_budget = 0;
+  std::uint64_t upstream_retries = 0;
+
+  /// Determinism witnesses: identical across runs with the same config.
+  std::vector<faults::FaultLogEntry> fault_log;
+  std::vector<mesh::MeshEvent> mesh_events;
+  std::uint64_t events_executed = 0;
+};
+
+ChaosExperimentResult run_chaos_elibrary_experiment(
+    const ChaosExperimentConfig& config);
+
+/// The acceptance table: per-phase LS goodput/success/p99 for the
+/// resilient and baseline arms, plus the resilience counters.
+std::string format_chaos_comparison(const ChaosExperimentResult& resilient,
+                                    const ChaosExperimentResult& baseline);
+
+}  // namespace meshnet::workload

@@ -41,6 +41,7 @@ void OpenLoopGenerator::arrive(sim::Time scheduled) {
 
   http::HttpRequest request = spec_.make_request(seq_++);
   ++sent_;
+  if (arrival_observer_) arrival_observer_(scheduled);
   client_.request(std::move(request),
                   [this, scheduled](std::optional<http::HttpResponse> response,
                                     const std::string& /*error*/) {
@@ -51,6 +52,9 @@ void OpenLoopGenerator::arrive(sim::Time scheduled) {
                       ++failed_;
                     }
                     recorder_.record(scheduled, sim_.now(), success);
+                    if (sample_observer_) {
+                      sample_observer_(scheduled, sim_.now(), success);
+                    }
                   });
 }
 

@@ -41,11 +41,27 @@ struct WorkloadSpec {
 
 class OpenLoopGenerator {
  public:
+  /// Observes every arrival, with its scheduled (intended) send time.
+  using ArrivalObserver = std::function<void(sim::Time scheduled)>;
+  /// Observes every completion (success or failure). Fires in addition
+  /// to the internal recorder — experiments use it to bucket samples
+  /// into extra windows (e.g. before/during/after a fault).
+  using SampleObserver = std::function<void(sim::Time scheduled,
+                                            sim::Time completed,
+                                            bool success)>;
+
   OpenLoopGenerator(sim::Simulator& sim, mesh::HttpClientPool& client,
                     WorkloadSpec spec, std::uint64_t seed);
 
   /// Schedules the first arrival. Call once.
   void start();
+
+  void set_arrival_observer(ArrivalObserver observer) {
+    arrival_observer_ = std::move(observer);
+  }
+  void set_sample_observer(SampleObserver observer) {
+    sample_observer_ = std::move(observer);
+  }
 
   const WorkloadSpec& spec() const noexcept { return spec_; }
   const LatencyRecorder& recorder() const noexcept { return recorder_; }
@@ -63,6 +79,8 @@ class OpenLoopGenerator {
   WorkloadSpec spec_;
   sim::RngStream rng_;
   LatencyRecorder recorder_;
+  ArrivalObserver arrival_observer_;
+  SampleObserver sample_observer_;
   std::uint64_t seq_ = 0;
   std::uint64_t sent_ = 0;
   std::uint64_t completed_ = 0;

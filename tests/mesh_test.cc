@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -551,7 +552,7 @@ TEST_F(MeshFixture, CircuitBreakerOpensOnRepeatedFailure) {
   for (int i = 0; i < 3; ++i) get("server", "/bad");
   EXPECT_EQ(client_sidecar_->breaker_for("server", "server-v1").state(),
             CircuitState::kOpen);
-  // With the only endpooint ejected, requests fail fast with 503.
+  // With the only endpoint ejected, requests fail fast with 503.
   const auto response = get("server", "/next");
   ASSERT_TRUE(response.has_value());
   EXPECT_EQ(response->status, 503);
@@ -671,6 +672,272 @@ TEST_F(MeshFixture, ActiveRequestTrackingReturnsToZero) {
   build();
   get("server", "/done");
   EXPECT_EQ(client_sidecar_->active_requests_to("server-v1"), 0u);
+}
+
+// ------------------------------------------ breaker edge cases --------
+
+TEST(CircuitBreakerEdge, ZeroThresholdDisablesBreaker) {
+  CircuitBreaker breaker{CircuitBreakerConfig{0, sim::milliseconds(100), 1}};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(breaker.allow_request(i));
+    breaker.on_failure(i);
+  }
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  EXPECT_EQ(breaker.times_opened(), 0u);
+}
+
+TEST(CircuitBreakerEdge, HalfOpenAdmitsConfiguredConcurrentProbes) {
+  CircuitBreaker breaker{CircuitBreakerConfig{2, sim::milliseconds(100), 2}};
+  breaker.on_failure(0);
+  breaker.on_failure(1);
+  ASSERT_EQ(breaker.state(), CircuitState::kOpen);
+  const sim::Time after = 1 + sim::milliseconds(100);
+  // Cooldown elapsed: exactly half_open_probes concurrent probes admitted.
+  EXPECT_TRUE(breaker.allow_request(after));
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  EXPECT_TRUE(breaker.allow_request(after));
+  EXPECT_FALSE(breaker.allow_request(after));  // probe cap
+  // One probe succeeding closes the circuit and resets probe accounting.
+  breaker.on_success(after + 1);
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  EXPECT_TRUE(breaker.allow_request(after + 2));
+}
+
+TEST(CircuitBreakerEdge, ProbeFailureReopensFromHalfOpen) {
+  CircuitBreaker breaker{CircuitBreakerConfig{1, sim::milliseconds(50), 1}};
+  breaker.on_failure(0);
+  ASSERT_EQ(breaker.state(), CircuitState::kOpen);
+  const sim::Time probe_at = sim::milliseconds(50);
+  EXPECT_TRUE(breaker.allow_request(probe_at));
+  ASSERT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  breaker.on_failure(probe_at + 1);
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  // The fresh open period starts at the probe failure, not the original
+  // trip: still open just before the new cooldown expires.
+  EXPECT_FALSE(breaker.allow_request(probe_at + sim::milliseconds(50)));
+  EXPECT_TRUE(breaker.allow_request(probe_at + 1 + sim::milliseconds(50)));
+}
+
+TEST(CircuitBreakerEdge, TransitionHookSeesAllFourTransitions) {
+  CircuitBreaker breaker{CircuitBreakerConfig{1, sim::milliseconds(10), 1}};
+  std::vector<std::pair<CircuitState, CircuitState>> transitions;
+  breaker.set_transition_hook(
+      [&](CircuitState from, CircuitState to, sim::Time) {
+        transitions.emplace_back(from, to);
+      });
+  breaker.on_failure(0);                              // closed -> open
+  breaker.allow_request(sim::milliseconds(10));       // open -> half-open
+  breaker.on_failure(sim::milliseconds(11));          // half-open -> open
+  breaker.allow_request(sim::milliseconds(25));       // open -> half-open
+  breaker.on_success(sim::milliseconds(26));          // half-open -> closed
+  const std::vector<std::pair<CircuitState, CircuitState>> expected{
+      {CircuitState::kClosed, CircuitState::kOpen},
+      {CircuitState::kOpen, CircuitState::kHalfOpen},
+      {CircuitState::kHalfOpen, CircuitState::kOpen},
+      {CircuitState::kOpen, CircuitState::kHalfOpen},
+      {CircuitState::kHalfOpen, CircuitState::kClosed},
+  };
+  EXPECT_EQ(transitions, expected);
+}
+
+// ------------------------------------------------- retry backoff ------
+
+TEST(RetryBackoff, LinearWhenJitterDisabled) {
+  RetryPolicy policy;
+  policy.backoff_base = sim::milliseconds(2);
+  policy.backoff_max = sim::milliseconds(5);
+  policy.backoff_jitter = false;
+  sim::RngStream rng(1, "test");
+  EXPECT_EQ(next_retry_backoff(policy, 1, 0, rng), sim::milliseconds(2));
+  EXPECT_EQ(next_retry_backoff(policy, 2, 0, rng), sim::milliseconds(4));
+  // Linear growth clamps at the cap.
+  EXPECT_EQ(next_retry_backoff(policy, 3, 0, rng), sim::milliseconds(5));
+}
+
+TEST(RetryBackoff, DecorrelatedJitterStaysWithinBounds) {
+  RetryPolicy policy;
+  policy.backoff_base = sim::milliseconds(2);
+  policy.backoff_max = sim::milliseconds(250);
+  policy.backoff_jitter = true;
+  sim::RngStream rng(7, "test");
+  sim::Duration prev = 0;
+  for (int i = 1; i <= 500; ++i) {
+    const sim::Duration sleep = next_retry_backoff(policy, i, prev, rng);
+    EXPECT_GE(sleep, policy.backoff_base);
+    EXPECT_LE(sleep, policy.backoff_max);
+    // Decorrelated jitter's upper envelope: 3x the previous sleep (with
+    // prev floored at base), before the cap.
+    const sim::Duration envelope =
+        std::min<sim::Duration>(policy.backoff_max,
+                                3 * std::max(prev, policy.backoff_base));
+    EXPECT_LE(sleep, envelope);
+    prev = sleep;
+  }
+}
+
+TEST(RetryBackoff, DeterministicForSameSeed) {
+  RetryPolicy policy;
+  sim::RngStream rng_a(13, "same");
+  sim::RngStream rng_b(13, "same");
+  sim::Duration prev_a = 0;
+  sim::Duration prev_b = 0;
+  for (int i = 1; i <= 50; ++i) {
+    prev_a = next_retry_backoff(policy, i, prev_a, rng_a);
+    prev_b = next_retry_backoff(policy, i, prev_b, rng_b);
+    EXPECT_EQ(prev_a, prev_b);
+  }
+}
+
+// --------------------------------------------------- retry paths ------
+
+TEST_F(MeshFixture, No5xxRetryWhenOnlyResetRetriesEnabled) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  policies.retry.retry_on_5xx = false;
+  policies.retry.retry_on_reset = true;
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.status = 503;
+    return plan;
+  });
+  const auto response = get("server", "/bad");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 0u);
+}
+
+TEST_F(MeshFixture, NoResetRetryWhenOnly5xxRetriesEnabled) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  policies.retry.retry_on_5xx = true;
+  policies.retry.retry_on_reset = false;
+  policies.retry.per_try_timeout = sim::milliseconds(50);
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::seconds(30);  // forces a per-try timeout
+    return plan;
+  });
+  const auto response = get("server", "/hang");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 0u);
+  EXPECT_EQ(client_sidecar_->stats().timeouts, 1u);
+}
+
+TEST_F(MeshFixture, PerTryTimeoutFiresOnEveryAttempt) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 1;
+  policies.retry.per_try_timeout = sim::milliseconds(50);
+  policies.retry.backoff_jitter = false;
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::seconds(30);
+    return plan;
+  });
+  const auto response = get("server", "/hang-twice", sim::seconds(10));
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 1u);
+  EXPECT_EQ(client_sidecar_->stats().timeouts, 2u);  // original + retry
+}
+
+TEST_F(MeshFixture, RetryBudgetDeniesWhenFloorIsZero) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  policies.retry.retry_budget = 0.5;
+  policies.retry.retry_budget_min_concurrency = 0;
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.status = 503;
+    return plan;
+  });
+  // A lone failing request has zero other in-flight traffic, so the
+  // budget (0.5 x 0, floor 0) admits no retry at all.
+  const auto response = get("server", "/budgeted");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 0u);
+  EXPECT_GE(client_sidecar_->stats().retries_denied_by_budget, 1u);
+}
+
+TEST_F(MeshFixture, RetryBudgetFloorAdmitsRetries) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  policies.retry.retry_budget = 0.5;
+  policies.retry.retry_budget_min_concurrency = 3;
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.status = 503;
+    return plan;
+  });
+  const auto response = get("server", "/budgeted");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 2u);
+  EXPECT_EQ(client_sidecar_->stats().retries_denied_by_budget, 0u);
+}
+
+// ---------------------------------------------- health checking -------
+
+TEST_F(MeshFixture, HealthProbesAnsweredBySidecarNotApp) {
+  MeshPolicies policies;
+  policies.health_check.enabled = true;
+  policies.health_check.interval = sim::milliseconds(100);
+  policies.health_check.timeout = sim::milliseconds(80);
+  std::uint64_t app_saw_probe_path = 0;
+  build(1, policies,
+        [&](const http::HttpRequest& request, int) {
+          if (request.path == std::string(kHealthCheckPath)) {
+            ++app_saw_probe_path;
+          }
+          app::HandlerResult plan;
+          plan.response_bytes = 4;
+          return plan;
+        });
+  sim_.run_until(sim_.now() + sim::seconds(2));
+  EXPECT_GT(server_sidecars_[0]->stats().health_probes_answered, 0u);
+  EXPECT_EQ(app_saw_probe_path, 0u);
+  ASSERT_NE(client_sidecar_->health_checker(), nullptr);
+  EXPECT_GT(client_sidecar_->health_checker()->stats().probes_sent, 0u);
+  EXPECT_EQ(client_sidecar_->health_checker()->stats().evictions, 0u);
+  EXPECT_TRUE(client_sidecar_->health_checker()->healthy("server",
+                                                         "server-v1"));
+}
+
+TEST_F(MeshFixture, HealthCheckerEvictsCrashedPodAndReadmitsOnRestart) {
+  MeshPolicies policies;
+  policies.health_check.enabled = true;
+  policies.health_check.interval = sim::milliseconds(100);
+  policies.health_check.timeout = sim::milliseconds(80);
+  policies.health_check.unhealthy_threshold = 2;
+  policies.health_check.healthy_threshold = 2;
+  policies.retry.max_retries = 1;
+  policies.retry.per_try_timeout = sim::milliseconds(200);
+  build(2, policies);
+  ASSERT_TRUE(get("server", "/warm").has_value());
+
+  ASSERT_TRUE(cluster_->crash_pod("server-v1"));
+  sim_.run_until(sim_.now() + sim::seconds(2));
+  EXPECT_FALSE(
+      client_sidecar_->health_checker()->healthy("server", "server-v1"));
+  EXPECT_GE(client_sidecar_->health_checker()->stats().evictions, 1u);
+  // With v1 evicted, traffic flows to v2 only — no failures, no hangs.
+  const std::uint64_t served_before = apps_[1]->requests_served();
+  for (int i = 0; i < 4; ++i) {
+    const auto response = get("server", "/during-crash");
+    ASSERT_TRUE(response.has_value());
+    EXPECT_EQ(response->status, 200);
+  }
+  EXPECT_EQ(apps_[1]->requests_served(), served_before + 4);
+
+  ASSERT_TRUE(cluster_->restart_pod("server-v1"));
+  sim_.run_until(sim_.now() + sim::seconds(2));
+  EXPECT_TRUE(
+      client_sidecar_->health_checker()->healthy("server", "server-v1"));
+  EXPECT_GE(client_sidecar_->health_checker()->stats().readmissions, 1u);
+  // Telemetry carries the eviction/readmission transitions.
+  EXPECT_GE(control_plane_->telemetry().event_count("health"), 2u);
 }
 
 }  // namespace
