@@ -16,14 +16,15 @@
 // *tc-only with dst-IP matching needs priority-routed replicas to be able
 //  to tell classes apart — which is why the paper combines them; with
 //  routing off we match on DSCP instead, isolating the queueing effect.
+//
+// Each variant is an independent sweep point (--threads fans them out).
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "stats/table.h"
-#include "util/flags.h"
-#include "workload/elibrary_experiment.h"
+#include "workload/bench_harness.h"
 
 using namespace meshnet;
 
@@ -31,6 +32,7 @@ namespace {
 
 struct Variant {
   std::string name;
+  std::string id;  ///< stable short id for the JSON report
   bool enabled = true;  ///< false = plain baseline
   bool routing = false;
   bool tc = false;
@@ -44,63 +46,86 @@ struct Variant {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const double rps = flags.get_double_or("rps", 40.0);
-  const auto duration = sim::seconds(flags.get_int_or("duration", 15));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 42));
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "ablation_components", /*default_duration_s=*/15,
+      /*default_seed=*/42, {"rps"});
+  const double rps = options.flags.get_double_or("rps", 40.0);
+  const auto duration = sim::seconds(options.duration_s);
+  const auto seed = options.seed;
 
   std::printf(
       "ABL-COMP: contribution of each cross-layer component at %.0f RPS "
       "per workload.\n\n", rps);
 
   const std::vector<Variant> variants = {
-      {"none (baseline)", false},
-      {"route-only", true, true, false},
-      {"tc-only (dscp match)", true, false, true, core::TcMatch::kDscp},
-      {"route+tc (paper proto)", true, true, true, core::TcMatch::kDstIp},
-      {"route+tc+scavenger", true, true, true, core::TcMatch::kDstIp, false,
-       true},
-      {"route+strict-tc", true, true, true, core::TcMatch::kDstIp, true},
-      {"dscp+tc (no subsets)", true, false, true, core::TcMatch::kDscp},
-      {"sdn out-of-band", true, true, false, core::TcMatch::kDstIp, false,
-       false, false, true},
+      {"none (baseline)", "none", false},
+      {"route-only", "route_only", true, true, false},
+      {"tc-only (dscp match)", "tc_only", true, false, true,
+       core::TcMatch::kDscp},
+      {"route+tc (paper proto)", "route_tc", true, true, true,
+       core::TcMatch::kDstIp},
+      {"route+tc+scavenger", "route_tc_scav", true, true, true,
+       core::TcMatch::kDstIp, false, true},
+      {"route+strict-tc", "route_strict_tc", true, true, true,
+       core::TcMatch::kDstIp, true},
+      {"dscp+tc (no subsets)", "dscp_tc", true, false, true,
+       core::TcMatch::kDscp},
+      {"sdn out-of-band", "sdn", true, true, false, core::TcMatch::kDstIp,
+       false, false, false, true},
       // DSCP marking stays on: the mark is how the accepting transport
       // knows to answer with the scavenger controller (responses carry
       // the bytes); with tc off, the marks are inert at every queue.
-      {"scavenger-only", true, false, false, core::TcMatch::kDstIp, false,
-       true, true, false},
+      {"scavenger-only", "scavenger_only", true, false, false,
+       core::TcMatch::kDstIp, false, true, true, false},
   };
+
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<workload::ElibraryExperimentResult> outcomes(variants.size());
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Variant& v = variants[i];
+    runner.add({{"variant", v.id}},
+               [&v, rps, duration, seed, i, &outcomes] {
+                 workload::ElibraryExperimentConfig config;
+                 config.ls_rps = rps;
+                 config.li_rps = rps;
+                 config.duration = duration;
+                 config.seed = seed;
+                 config.cross_layer = v.enabled;
+                 if (v.enabled) {
+                   auto& cc = config.cross_layer_config;
+                   cc.priority_routing = v.routing;
+                   cc.tc_priority = v.tc;
+                   cc.tc_match = v.match;
+                   cc.strict_tc = v.strict;
+                   cc.scavenger_transport = v.scavenger;
+                   cc.dscp_tagging = v.dscp;
+                   config.sdn_out_of_band = v.sdn;
+                 }
+                 outcomes[i] = workload::run_elibrary_experiment(config);
+                 return workload::elibrary_point_metrics(outcomes[i]);
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
 
   stats::Table table({"variant", "LS p50 (ms)", "LS p99 (ms)",
                       "LI p50 (ms)", "LI p99 (ms)", "LS errs", "util"});
-
-  for (const Variant& v : variants) {
-    workload::ElibraryExperimentConfig config;
-    config.ls_rps = rps;
-    config.li_rps = rps;
-    config.duration = duration;
-    config.seed = seed;
-    config.cross_layer = v.enabled;
-    if (v.enabled) {
-      auto& cc = config.cross_layer_config;
-      cc.priority_routing = v.routing;
-      cc.tc_priority = v.tc;
-      cc.tc_match = v.match;
-      cc.strict_tc = v.strict;
-      cc.scavenger_transport = v.scavenger;
-      cc.dscp_tagging = v.dscp;
-      config.sdn_out_of_band = v.sdn;
-    }
-    const auto r = workload::run_elibrary_experiment(config);
-    table.add_row({v.name, stats::Table::num(r.ls.p50_ms, 1),
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& r = outcomes[i];
+    table.add_row({variants[i].name, stats::Table::num(r.ls.p50_ms, 1),
                    stats::Table::num(r.ls.p99_ms, 1),
                    stats::Table::num(r.li.p50_ms, 1),
                    stats::Table::num(r.li.p99_ms, 1),
                    std::to_string(r.ls.errors),
                    stats::Table::num(r.bottleneck_utilization, 2)});
-    std::fprintf(stderr, "  [%s] done\n", v.name.c_str());
   }
 
   std::printf("%s\n", table.to_string().c_str());
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "ablation_components",
+      {{"seed", std::to_string(seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"rps", stats::Table::num(rps, 0)}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

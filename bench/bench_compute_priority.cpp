@@ -6,16 +6,17 @@
 // sensitive requests and long batch requests. With FIFO admission, LS
 // requests wait behind whole batch jobs; with priority-aware admission
 // queuing, they jump the queue. The network is uncontended throughout,
-// isolating the compute effect.
+// isolating the compute effect. Two sweep points: fifo, priority.
 
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "app/microservice.h"
 #include "core/priority.h"
 #include "mesh/control_plane.h"
 #include "stats/table.h"
-#include "util/flags.h"
+#include "workload/bench_harness.h"
 #include "workload/generator.h"
 
 using namespace meshnet;
@@ -25,6 +26,7 @@ namespace {
 struct RunResult {
   double ls_p50, ls_p99, li_p50, li_p99;
   std::uint64_t ls_done, li_done, max_queue;
+  stats::LogHistogram ls_latency;
 };
 
 RunResult run_once(bool priority_scheduling, double ls_rps, double li_rps,
@@ -93,37 +95,69 @@ RunResult run_once(bool priority_scheduling, double ls_rps, double li_rps,
   return RunResult{ls_gen.recorder().p50_ms(), ls_gen.recorder().p99_ms(),
                    li_gen.recorder().p50_ms(), li_gen.recorder().p99_ms(),
                    ls_gen.recorder().count(), li_gen.recorder().count(),
-                   server.max_admission_queue_seen()};
+                   server.max_admission_queue_seen(),
+                   ls_gen.recorder().histogram()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const double ls_rps = flags.get_double_or("ls-rps", 100.0);
-  const double li_rps = flags.get_double_or("li-rps", 85.0);
-  const auto duration = sim::seconds(flags.get_int_or("duration", 20));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 7));
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "compute_priority", /*default_duration_s=*/20,
+      /*default_seed=*/7, {"ls-rps", "li-rps"});
+  const double ls_rps = options.flags.get_double_or("ls-rps", 100.0);
+  const double li_rps = options.flags.get_double_or("li-rps", 85.0);
+  const auto duration = sim::seconds(options.duration_s);
+  const auto seed = options.seed;
 
   std::printf(
       "ABL-CPU: prioritized request queuing at a CPU-bound service "
       "(4 workers,\nLS jobs 2 ms, batch jobs 40 ms; %.0f/%.0f RPS).\n\n",
       ls_rps, li_rps);
 
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<RunResult> outcomes(2);
+  for (const bool priority : {false, true}) {
+    const std::size_t slot = priority ? 1 : 0;
+    runner.add({{"admission", priority ? "priority" : "fifo"}},
+               [priority, ls_rps, li_rps, duration, seed, slot, &outcomes] {
+                 outcomes[slot] =
+                     run_once(priority, ls_rps, li_rps, duration, seed);
+                 const RunResult& r = outcomes[slot];
+                 workload::PointMetrics metrics;
+                 metrics.scalars["ls_p50_ms"] = r.ls_p50;
+                 metrics.scalars["ls_p99_ms"] = r.ls_p99;
+                 metrics.scalars["li_p50_ms"] = r.li_p50;
+                 metrics.scalars["li_p99_ms"] = r.li_p99;
+                 metrics.counters["ls_completed"] = r.ls_done;
+                 metrics.counters["li_completed"] = r.li_done;
+                 metrics.counters["max_admission_queue"] = r.max_queue;
+                 metrics.histograms["ls_latency_ns"] = r.ls_latency;
+                 return metrics;
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
+
   stats::Table table({"admission", "LS p50 (ms)", "LS p99 (ms)",
                       "LI p50 (ms)", "LI p99 (ms)", "LS done", "LI done",
                       "max queue"});
   for (const bool priority : {false, true}) {
-    const RunResult r =
-        run_once(priority, ls_rps, li_rps, duration, seed);
+    const RunResult& r = outcomes[priority ? 1 : 0];
     table.add_row({priority ? "priority-aware" : "fifo",
                    stats::Table::num(r.ls_p50, 2),
                    stats::Table::num(r.ls_p99, 2),
                    stats::Table::num(r.li_p50, 2),
                    stats::Table::num(r.li_p99, 2), std::to_string(r.ls_done),
                    std::to_string(r.li_done), std::to_string(r.max_queue)});
-    std::fprintf(stderr, "  [%s] done\n", priority ? "priority" : "fifo");
   }
   std::printf("%s\n", table.to_string().c_str());
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "compute_priority",
+      {{"seed", std::to_string(seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"ls_rps", stats::Table::num(ls_rps, 0)},
+       {"li_rps", stats::Table::num(li_rps, 0)}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

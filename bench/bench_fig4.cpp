@@ -4,23 +4,25 @@
 // Sweeps offered load (RPS per workload, default 10..50 as in the paper)
 // and, for each level, runs the e-library mix twice — without and with
 // cross-layer prioritization — reporting the latency-sensitive workload's
-// p50 and p99, the same four series the figure plots.
+// p50 and p99, the same four series the figure plots. The 2×|rps| points
+// fan across the sweep harness (--threads) and produce bit-identical
+// results at any thread count.
 //
-// Flags:
+// Flags (plus the standard harness set, see workload/bench_harness.h):
 //   --rps=10,20,30,40,50   load levels
 //   --duration=15          measured seconds per run
 //   --warmup=4 --cooldown=2
 //   --seed=42
 //   --csv                  also emit CSV for plotting
+//   --threads=N --json-out[=PATH] --baseline=PATH --tolerance=R
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "stats/table.h"
-#include "util/flags.h"
 #include "util/strings.h"
-#include "workload/elibrary_experiment.h"
+#include "workload/bench_harness.h"
 
 using namespace meshnet;
 
@@ -39,19 +41,51 @@ std::vector<double> parse_rps_list(const std::string& text) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "fig4", /*default_duration_s=*/15, /*default_seed=*/42,
+      {"rps", "warmup", "cooldown", "csv"});
+  const util::Flags& flags = options.flags;
   const std::vector<double> rps_levels =
       parse_rps_list(flags.get_or("rps", "10,20,30,40,50"));
-  const auto duration = sim::seconds(flags.get_int_or("duration", 15));
+  const auto duration = sim::seconds(options.duration_s);
   const auto warmup = sim::seconds(flags.get_int_or("warmup", 4));
   const auto cooldown = sim::seconds(flags.get_int_or("cooldown", 2));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 42));
+  const auto seed = options.seed;
 
   std::printf(
       "FIG4: HTTP request latency of the latency-sensitive workload vs "
       "offered RPS,\nwith and without cross-layer optimization "
       "(e-library app, 1 Gbps reviews->ratings bottleneck,\nLI responses "
       "~200x larger, uniform-random arrivals).\n\n");
+
+  // One sweep point per (rps, cross_layer) pair; each runs its own
+  // simulator and stores the typed result in its slot for the table.
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<workload::ElibraryExperimentResult> outcomes(
+      rps_levels.size() * 2);
+  for (std::size_t level = 0; level < rps_levels.size(); ++level) {
+    const double rps = rps_levels[level];
+    for (const bool cross_layer : {false, true}) {
+      const std::size_t slot = level * 2 + (cross_layer ? 1 : 0);
+      runner.add(
+          {{"rps", stats::Table::num(rps, 0)},
+           {"cross_layer", cross_layer ? "on" : "off"}},
+          [rps, cross_layer, duration, warmup, cooldown, seed, slot,
+           &outcomes] {
+            workload::ElibraryExperimentConfig config;
+            config.ls_rps = rps;
+            config.li_rps = rps;
+            config.duration = duration;
+            config.warmup = warmup;
+            config.cooldown = cooldown;
+            config.seed = seed;
+            config.cross_layer = cross_layer;
+            outcomes[slot] = workload::run_elibrary_experiment(config);
+            return workload::elibrary_point_metrics(outcomes[slot]);
+          });
+    }
+  }
+  const workload::SweepResult sweep = runner.run();
 
   stats::Table table({"RPS", "p50 w/o (ms)", "p50 w/ (ms)", "p99 w/o (ms)",
                       "p99 w/ (ms)", "p50 gain", "p99 gain", "bneck util"});
@@ -60,32 +94,11 @@ int main(int argc, char** argv) {
     double rps, p50_base, p50_opt, p99_base, p99_opt, util;
   };
   std::vector<Row> rows;
-
-  for (const double rps : rps_levels) {
-    Row row{};
-    row.rps = rps;
-    for (const bool cross_layer : {false, true}) {
-      workload::ElibraryExperimentConfig config;
-      config.ls_rps = rps;
-      config.li_rps = rps;
-      config.duration = duration;
-      config.warmup = warmup;
-      config.cooldown = cooldown;
-      config.seed = seed;
-      config.cross_layer = cross_layer;
-      const auto result = workload::run_elibrary_experiment(config);
-      if (cross_layer) {
-        row.p50_opt = result.ls.p50_ms;
-        row.p99_opt = result.ls.p99_ms;
-      } else {
-        row.p50_base = result.ls.p50_ms;
-        row.p99_base = result.ls.p99_ms;
-      }
-      row.util = result.bottleneck_utilization;
-      std::fprintf(stderr, "  [rps=%g %s] LS p50=%.1f p99=%.1f  LI p99=%.1f\n",
-                   rps, cross_layer ? "w/ " : "w/o", result.ls.p50_ms,
-                   result.ls.p99_ms, result.li.p99_ms);
-    }
+  for (std::size_t level = 0; level < rps_levels.size(); ++level) {
+    const workload::ElibraryExperimentResult& base = outcomes[level * 2];
+    const workload::ElibraryExperimentResult& opt = outcomes[level * 2 + 1];
+    Row row{rps_levels[level], base.ls.p50_ms,  opt.ls.p50_ms,
+            base.ls.p99_ms,    opt.ls.p99_ms,   opt.bottleneck_utilization};
     rows.push_back(row);
     table.add_row({stats::Table::num(row.rps, 0),
                    stats::Table::num(row.p50_base, 1),
@@ -105,6 +118,8 @@ int main(int argc, char** argv) {
               "and p99 %.2fx (paper: ~1.5x)\n",
               top.rps, top.p50_base / top.p50_opt,
               top.p99_base / top.p99_opt);
+  std::fprintf(stderr, "sweep: %zu points, %d threads, %.0f ms wall\n",
+               sweep.points.size(), sweep.threads_used, sweep.wall_ms);
 
   if (flags.get_bool_or("csv", false)) {
     stats::Table csv({"rps", "p50_wo_ms", "p50_w_ms", "p99_wo_ms",
@@ -118,5 +133,14 @@ int main(int argc, char** argv) {
     }
     std::printf("\n%s", csv.to_csv().c_str());
   }
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "fig4",
+      {{"seed", std::to_string(seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"warmup_s", std::to_string(flags.get_int_or("warmup", 4))},
+       {"cooldown_s", std::to_string(flags.get_int_or("cooldown", 2))},
+       {"rps", flags.get_or("rps", "10,20,30,40,50")}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

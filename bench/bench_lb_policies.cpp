@@ -6,7 +6,7 @@
 // loop stream under each LB policy. Expected shape: least-request routes
 // around the slow replica and wins the tail; round-robin and random keep
 // feeding it and pay at p99; weighted-round-robin wins only if the
-// operator already knew the weights.
+// operator already knew the weights. One sweep point per policy.
 
 #include <cstdio>
 #include <map>
@@ -15,7 +15,7 @@
 #include "app/microservice.h"
 #include "mesh/control_plane.h"
 #include "stats/table.h"
-#include "util/flags.h"
+#include "workload/bench_harness.h"
 #include "workload/generator.h"
 
 using namespace meshnet;
@@ -26,6 +26,7 @@ struct RunResult {
   double p50_ms, p99_ms, mean_ms;
   std::uint64_t completed, errors;
   std::map<std::string, std::uint64_t> per_replica;
+  stats::LogHistogram latency;
 };
 
 RunResult run_once(mesh::LbPolicy policy, double rps, sim::Duration duration,
@@ -87,7 +88,8 @@ RunResult run_once(mesh::LbPolicy policy, double rps, sim::Duration duration,
 
   RunResult result{gen.recorder().p50_ms(), gen.recorder().p99_ms(),
                    gen.recorder().mean_ms(), gen.recorder().count(),
-                   gen.recorder().errors(), {}};
+                   gen.recorder().errors(), {},
+                   gen.recorder().histogram()};
   for (cluster::Pod* pod : replicas) {
     // The app's own served-request counter is the ground truth.
     result.per_replica[pod->name()] = 0;
@@ -101,22 +103,49 @@ RunResult run_once(mesh::LbPolicy policy, double rps, sim::Duration duration,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const double rps = flags.get_double_or("rps", 300.0);
-  const auto duration = sim::seconds(flags.get_int_or("duration", 20));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 7));
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "lb_policies", /*default_duration_s=*/20,
+      /*default_seed=*/7, {"rps"});
+  const double rps = options.flags.get_double_or("rps", 300.0);
+  const auto duration = sim::seconds(options.duration_s);
+  const auto seed = options.seed;
 
   std::printf(
       "ABL-LB: sidecar load-balancing policies, 3 replicas, one 10x "
       "slower, %.0f RPS.\n\n", rps);
 
+  const std::vector<mesh::LbPolicy> lb_policies = {
+      mesh::LbPolicy::kRoundRobin, mesh::LbPolicy::kRandom,
+      mesh::LbPolicy::kLeastRequest, mesh::LbPolicy::kWeightedRoundRobin};
+
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<RunResult> outcomes(lb_policies.size());
+  for (std::size_t i = 0; i < lb_policies.size(); ++i) {
+    const mesh::LbPolicy policy = lb_policies[i];
+    runner.add({{"policy", std::string(mesh::lb_policy_name(policy))}},
+               [policy, rps, duration, seed, i, &outcomes] {
+                 outcomes[i] = run_once(policy, rps, duration, seed);
+                 const RunResult& r = outcomes[i];
+                 workload::PointMetrics metrics;
+                 metrics.scalars["p50_ms"] = r.p50_ms;
+                 metrics.scalars["p99_ms"] = r.p99_ms;
+                 metrics.scalars["mean_ms"] = r.mean_ms;
+                 metrics.counters["completed"] = r.completed;
+                 metrics.counters["errors"] = r.errors;
+                 for (const auto& [replica, served] : r.per_replica) {
+                   metrics.counters["served_" + replica] = served;
+                 }
+                 metrics.histograms["latency_ns"] = r.latency;
+                 return metrics;
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
+
   stats::Table table({"policy", "mean (ms)", "p50 (ms)", "p99 (ms)",
                       "v1", "v2", "v3(slow)", "errors"});
-  for (const mesh::LbPolicy policy :
-       {mesh::LbPolicy::kRoundRobin, mesh::LbPolicy::kRandom,
-        mesh::LbPolicy::kLeastRequest, mesh::LbPolicy::kWeightedRoundRobin}) {
-    const RunResult r = run_once(policy, rps, duration, seed);
-    table.add_row({std::string(mesh::lb_policy_name(policy)),
+  for (std::size_t i = 0; i < lb_policies.size(); ++i) {
+    const RunResult& r = outcomes[i];
+    table.add_row({std::string(mesh::lb_policy_name(lb_policies[i])),
                    stats::Table::num(r.mean_ms, 2),
                    stats::Table::num(r.p50_ms, 2),
                    stats::Table::num(r.p99_ms, 2),
@@ -124,9 +153,14 @@ int main(int argc, char** argv) {
                    std::to_string(r.per_replica.at("server-v2")),
                    std::to_string(r.per_replica.at("server-v3")),
                    std::to_string(r.errors)});
-    std::fprintf(stderr, "  [%s] done\n",
-                 std::string(mesh::lb_policy_name(policy)).c_str());
   }
   std::printf("%s\n", table.to_string().c_str());
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "lb_policies",
+      {{"seed", std::to_string(seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"rps", stats::Table::num(rps, 0)}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

@@ -3,13 +3,24 @@
 // scheduling, qdisc enqueue/dequeue, HTTP codec, histogram recording.
 // These back DESIGN.md's methodology note that full Fig. 4 sweeps are
 // tractable on a laptop.
+//
+// Takes the standard harness flags (--json-out writes the meshnet-bench
+// report with one point per benchmark) alongside google-benchmark's own
+// --benchmark_* flags. Times are wall-clock and machine-dependent, so
+// --baseline comparisons need a generous --tolerance (they are NOT
+// deterministic like the simulator benches).
 
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "http/codec.h"
 #include "net/qdisc.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
+#include "workload/bench_harness.h"
 
 using namespace meshnet;
 
@@ -113,4 +124,84 @@ static void BM_HttpParseResponse(benchmark::State& state) {
 }
 BENCHMARK(BM_HttpParseResponse)->Arg(1024)->Arg(64 * 1024);
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console output as usual, plus a capture of every per-iteration run so
+// the harness can emit the standard meshnet-bench report.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    double real_time_ns;
+    double cpu_time_ns;
+    std::vector<std::pair<std::string, double>> counters;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      Captured captured;
+      captured.name = run.benchmark_name();
+      captured.real_time_ns = run.GetAdjustedRealTime();
+      captured.cpu_time_ns = run.GetAdjustedCPUTime();
+      for (const auto& [name, counter] : run.counters) {
+        captured.counters.emplace_back(name, counter.value);
+      }
+      runs_.push_back(std::move(captured));
+    }
+    benchmark::ConsoleReporter::ReportRuns(reports);
+  }
+
+  const std::vector<Captured>& runs() const { return runs_; }
+
+ private:
+  std::vector<Captured> runs_;
+};
+
+// Report point ids must be stable flag-style tokens: BM_Foo/1024 ->
+// BM_Foo_1024.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == ':' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "micro", /*default_duration_s=*/0, /*default_seed=*/0,
+      /*extra_flags=*/{}, /*extra_prefixes=*/{"benchmark_"});
+
+  // google-benchmark parses argv itself and rejects flags it does not
+  // know, so hand it only argv[0] and the --benchmark_* flags.
+  std::vector<char*> bench_argv = {argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_", 12) == 0) {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  stats::BenchReport report;
+  report.experiment = "micro";
+  report.threads = 1;
+  for (const CapturingReporter::Captured& run : reporter.runs()) {
+    stats::BenchPoint point;
+    point.id = sanitize(run.name);
+    point.params.emplace_back("benchmark", run.name);
+    point.scalars["real_time_ns"] = run.real_time_ns;
+    point.scalars["cpu_time_ns"] = run.cpu_time_ns;
+    for (const auto& [name, value] : run.counters) {
+      point.scalars[name] = value;
+    }
+    report.points.push_back(std::move(point));
+  }
+  return workload::finish_harness(report, options);
+}

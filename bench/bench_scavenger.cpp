@@ -8,7 +8,7 @@
 // messages whose delivery latency is measured. Expected shape: with Reno
 // backgrounds the standing queue inflates foreground latency by tens of
 // ms; LEDBAT backgrounds keep queueing near the delay target while still
-// consuming most of the idle capacity.
+// consuming most of the idle capacity. One sweep point per (cc, flows).
 
 #include <cstdio>
 #include <deque>
@@ -19,7 +19,7 @@
 #include "stats/table.h"
 #include "stats/histogram.h"
 #include "transport/transport_host.h"
-#include "util/flags.h"
+#include "workload/bench_harness.h"
 
 using namespace meshnet;
 
@@ -30,6 +30,7 @@ struct RunResult {
   double bg_goodput_gbps;
   double avg_queue_ms;  ///< mean bottleneck backlog in time units
   std::uint64_t drops;
+  stats::LogHistogram fg_latency{7};
 };
 
 RunResult run_once(transport::CcAlgorithm bg_cc, int bg_flows,
@@ -127,39 +128,76 @@ RunResult run_once(transport::CcAlgorithm bg_cc, int bg_flows,
                       : 0.0;
   result.avg_queue_ms = avg_backlog_bytes * 8.0 / 1e9 * 1e3;
   result.drops = bottleneck.qdisc().stats().dropped_packets;
+  result.fg_latency = fg_latency;
   return result;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const auto duration = sim::seconds(flags.get_int_or("duration", 20));
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "scavenger", /*default_duration_s=*/20, /*default_seed=*/0);
+  const auto duration = sim::seconds(options.duration_s);
 
   std::printf(
       "ABL-SCAV: background bulk flows (Reno vs LEDBAT scavenger) sharing a "
       "1 Gbps\nbottleneck with a periodic small-message foreground flow.\n\n");
 
-  stats::Table table({"background", "flows", "fg p50 (ms)", "fg p99 (ms)",
-                      "bg goodput (Gbps)", "avg queue (ms)", "drops"});
+  struct Point {
+    transport::CcAlgorithm cc;
+    int flows;
+  };
+  std::vector<Point> grid;
   for (const int flows : {1, 4}) {
     for (const auto cc :
          {transport::CcAlgorithm::kReno, transport::CcAlgorithm::kLedbat}) {
-      const RunResult r = run_once(cc, flows, duration);
-      table.add_row(
-          {cc == transport::CcAlgorithm::kReno ? "reno" : "ledbat",
-           std::to_string(flows), stats::Table::num(r.fg_p50_ms, 2),
-           stats::Table::num(r.fg_p99_ms, 2),
-           stats::Table::num(r.bg_goodput_gbps, 3),
-           stats::Table::num(r.avg_queue_ms, 2), std::to_string(r.drops)});
-      std::fprintf(stderr, "  [%s x%d] done\n",
-                   cc == transport::CcAlgorithm::kReno ? "reno" : "ledbat",
-                   flows);
+      grid.push_back({cc, flows});
     }
+  }
+
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<RunResult> outcomes(grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const Point point = grid[i];
+    const char* cc_name =
+        point.cc == transport::CcAlgorithm::kReno ? "reno" : "ledbat";
+    runner.add({{"cc", cc_name}, {"flows", std::to_string(point.flows)}},
+               [point, duration, i, &outcomes] {
+                 outcomes[i] = run_once(point.cc, point.flows, duration);
+                 const RunResult& r = outcomes[i];
+                 workload::PointMetrics metrics;
+                 metrics.scalars["fg_p50_ms"] = r.fg_p50_ms;
+                 metrics.scalars["fg_p99_ms"] = r.fg_p99_ms;
+                 metrics.scalars["bg_goodput_gbps"] = r.bg_goodput_gbps;
+                 metrics.scalars["avg_queue_ms"] = r.avg_queue_ms;
+                 metrics.counters["drops"] = r.drops;
+                 metrics.histograms["fg_latency_ns"] = r.fg_latency;
+                 return metrics;
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
+
+  stats::Table table({"background", "flows", "fg p50 (ms)", "fg p99 (ms)",
+                      "bg goodput (Gbps)", "avg queue (ms)", "drops"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const RunResult& r = outcomes[i];
+    table.add_row(
+        {grid[i].cc == transport::CcAlgorithm::kReno ? "reno" : "ledbat",
+         std::to_string(grid[i].flows), stats::Table::num(r.fg_p50_ms, 2),
+         stats::Table::num(r.fg_p99_ms, 2),
+         stats::Table::num(r.bg_goodput_gbps, 3),
+         stats::Table::num(r.avg_queue_ms, 2), std::to_string(r.drops)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("expected shape: ledbat keeps the queue near its delay target "
               "(~2 ms), cutting\nforeground latency by an order of magnitude "
               "while still using idle capacity.\n");
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "scavenger",
+      {{"duration_s", std::to_string(options.duration_s)},
+       {"flows", "1,4"},
+       {"cc", "reno,ledbat"}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

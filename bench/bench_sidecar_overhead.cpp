@@ -8,14 +8,17 @@
 //            (inbound) -> server app
 // and the table reports the per-percentile latency and the added
 // overhead. The shape to check: a sub-millisecond median cost with a tail
-// of a few milliseconds at p99 — not the absolute Istio numbers.
+// of a few milliseconds at p99 — not the absolute Istio numbers. The two
+// runs are independent sweep points, so --threads=2 runs them in
+// parallel with bit-identical results.
 
 #include <cstdio>
+#include <vector>
 
 #include "app/microservice.h"
 #include "mesh/control_plane.h"
 #include "stats/table.h"
-#include "util/flags.h"
+#include "workload/bench_harness.h"
 #include "workload/generator.h"
 
 using namespace meshnet;
@@ -25,6 +28,7 @@ namespace {
 struct RunResult {
   double p50_ms, p90_ms, p99_ms, mean_ms;
   std::uint64_t completed, errors;
+  stats::LogHistogram latency;
 };
 
 RunResult run_once(bool meshed, double rps, sim::Duration duration,
@@ -79,23 +83,46 @@ RunResult run_once(bool meshed, double rps, sim::Duration duration,
 
   return RunResult{gen.recorder().p50_ms(), gen.recorder().p90_ms(),
                    gen.recorder().p99_ms(), gen.recorder().mean_ms(),
-                   gen.recorder().count(), gen.recorder().errors()};
+                   gen.recorder().count(), gen.recorder().errors(),
+                   gen.recorder().histogram()};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const double rps = flags.get_double_or("rps", 200.0);
-  const auto duration = sim::seconds(flags.get_int_or("duration", 30));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 7));
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "sidecar_overhead", /*default_duration_s=*/30,
+      /*default_seed=*/7, {"rps"});
+  const double rps = options.flags.get_double_or("rps", 200.0);
+  const auto duration = sim::seconds(options.duration_s);
+  const auto seed = options.seed;
 
   std::printf(
       "TXT-OVH: latency added by the sidecar pair on one service-to-service "
       "hop\n(paper/Istio: ~3 ms at p99).\n\n");
 
-  const RunResult direct = run_once(false, rps, duration, seed);
-  const RunResult meshed = run_once(true, rps, duration, seed);
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<RunResult> outcomes(2);
+  for (const bool meshed : {false, true}) {
+    const std::size_t slot = meshed ? 1 : 0;
+    runner.add({{"path", meshed ? "meshed" : "direct"}},
+               [meshed, rps, duration, seed, slot, &outcomes] {
+                 outcomes[slot] = run_once(meshed, rps, duration, seed);
+                 const RunResult& r = outcomes[slot];
+                 workload::PointMetrics metrics;
+                 metrics.scalars["p50_ms"] = r.p50_ms;
+                 metrics.scalars["p90_ms"] = r.p90_ms;
+                 metrics.scalars["p99_ms"] = r.p99_ms;
+                 metrics.scalars["mean_ms"] = r.mean_ms;
+                 metrics.counters["completed"] = r.completed;
+                 metrics.counters["errors"] = r.errors;
+                 metrics.histograms["latency_ns"] = r.latency;
+                 return metrics;
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
+  const RunResult& direct = outcomes[0];
+  const RunResult& meshed = outcomes[1];
 
   stats::Table table({"path", "mean (ms)", "p50 (ms)", "p90 (ms)",
                       "p99 (ms)", "requests"});
@@ -117,5 +144,12 @@ int main(int argc, char** argv) {
   std::printf("sidecar pair adds %.3f ms at p99 (paper cites ~3 ms for "
               "Istio; shape, not absolute, is the target)\n",
               meshed.p99_ms - direct.p99_ms);
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "sidecar_overhead",
+      {{"seed", std::to_string(seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"rps", stats::Table::num(rps, 0)}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

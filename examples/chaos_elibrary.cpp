@@ -9,24 +9,63 @@
 // after phases of both arms, plus eviction/retry counters.
 //
 //   ./chaos_elibrary [--seed=42] [--ls-rps=30] [--li-rps=10]
-//                    [--fault-duration-s=10]
+//                    [--fault-duration-s=10] [--duration=24]
+//                    [--threads=N] [--json-out[=PATH]] [--baseline=P]
+//
+// The two arms are independent sweep points (--threads=2 runs them in
+// parallel, bit-identically).
 
 #include <cstdio>
+#include <vector>
 
-#include "util/flags.h"
+#include "workload/bench_harness.h"
 #include "workload/chaos_experiment.h"
 
 using namespace meshnet;
 
+namespace {
+
+workload::PointMetrics chaos_point_metrics(
+    const workload::ChaosExperimentResult& r) {
+  workload::PointMetrics metrics;
+  const auto add_phase = [&metrics](const std::string& prefix,
+                                    const workload::PhaseSummary& phase) {
+    metrics.scalars[prefix + "_goodput_rps"] = phase.goodput_rps;
+    metrics.scalars[prefix + "_success_rate"] = phase.success_rate;
+    metrics.scalars[prefix + "_p50_ms"] = phase.p50_ms;
+    metrics.scalars[prefix + "_p99_ms"] = phase.p99_ms;
+    metrics.counters[prefix + "_completed"] = phase.completed;
+    metrics.counters[prefix + "_errors"] = phase.errors;
+  };
+  add_phase("before", r.before);
+  add_phase("during", r.during);
+  add_phase("after", r.after);
+  metrics.counters["breaker_events"] = r.breaker_events;
+  metrics.counters["health_evictions"] = r.health_evictions;
+  metrics.counters["health_readmissions"] = r.health_readmissions;
+  metrics.counters["upstream_retries"] = r.upstream_retries;
+  metrics.counters["retries_denied_by_budget"] = r.retries_denied_by_budget;
+  metrics.counters["fault_log_entries"] = r.fault_log.size();
+  metrics.counters["mesh_events"] = r.mesh_events.size();
+  metrics.counters["events"] = r.events_executed;
+  return metrics;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
   workload::ChaosExperimentConfig config;
-  config.seed = static_cast<std::uint64_t>(
-      flags.get_int_or("seed", static_cast<std::int64_t>(config.seed)));
-  config.ls_rps = flags.get_double_or("ls-rps", config.ls_rps);
-  config.li_rps = flags.get_double_or("li-rps", config.li_rps);
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "chaos_elibrary",
+      /*default_duration_s=*/static_cast<std::int64_t>(
+          sim::to_seconds(config.duration)),
+      /*default_seed=*/config.seed, {"ls-rps", "li-rps", "fault-duration-s"});
+  config.seed = options.seed;
+  config.duration = sim::seconds(options.duration_s);
+  config.ls_rps = options.flags.get_double_or("ls-rps", config.ls_rps);
+  config.li_rps = options.flags.get_double_or("li-rps", config.li_rps);
   config.fault_duration =
-      sim::seconds(flags.get_int_or("fault-duration-s", 10));
+      sim::seconds(options.flags.get_int_or("fault-duration-s", 10));
 
   std::printf(
       "chaos e-library: crash %s + flap %s for %.0fs, seed %llu\n\n",
@@ -34,12 +73,22 @@ int main(int argc, char** argv) {
       sim::to_seconds(config.fault_duration),
       static_cast<unsigned long long>(config.seed));
 
-  config.resilience = true;
-  const workload::ChaosExperimentResult resilient =
-      workload::run_chaos_elibrary_experiment(config);
-  config.resilience = false;
-  const workload::ChaosExperimentResult baseline =
-      workload::run_chaos_elibrary_experiment(config);
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<workload::ChaosExperimentResult> arms(2);
+  for (const bool resilience : {true, false}) {
+    const std::size_t slot = resilience ? 0 : 1;
+    runner.add({{"resilience", resilience ? "on" : "off"}},
+               [config, resilience, slot, &arms] {
+                 workload::ChaosExperimentConfig arm_config = config;
+                 arm_config.resilience = resilience;
+                 arms[slot] =
+                     workload::run_chaos_elibrary_experiment(arm_config);
+                 return chaos_point_metrics(arms[slot]);
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
+  const workload::ChaosExperimentResult& resilient = arms[0];
+  const workload::ChaosExperimentResult& baseline = arms[1];
 
   std::fputs(workload::format_chaos_comparison(resilient, baseline).c_str(),
              stdout);
@@ -51,5 +100,16 @@ int main(int argc, char** argv) {
                 std::string(faults::fault_action_name(entry.action)).c_str(),
                 entry.target.c_str(), entry.applied ? "" : " (not applied)");
   }
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "chaos_elibrary",
+      {{"seed", std::to_string(config.seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"ls_rps", std::to_string(config.ls_rps)},
+       {"li_rps", std::to_string(config.li_rps)},
+       {"fault_duration_s",
+        std::to_string(static_cast<long long>(
+            sim::to_seconds(config.fault_duration)))}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

@@ -6,39 +6,54 @@
 // classifier counters).
 //
 //   ./elibrary_priority [--rps=30] [--duration=10] [--seed=42]
+//                       [--threads=N] [--json-out[=PATH]] [--baseline=P]
+//
+// The two arms (with/without cross-layer) are independent sweep points,
+// so --threads=2 runs them in parallel with bit-identical output.
 
 #include <cstdio>
+#include <vector>
 
 #include "core/cross_layer.h"
 #include "stats/table.h"
-#include "util/flags.h"
-#include "workload/elibrary_experiment.h"
+#include "workload/bench_harness.h"
 
 using namespace meshnet;
 
 int main(int argc, char** argv) {
-  const util::Flags flags = util::Flags::parse(argc, argv);
-  const double rps = flags.get_double_or("rps", 30.0);
-  const auto duration = sim::seconds(flags.get_int_or("duration", 10));
-  const auto seed = static_cast<std::uint64_t>(flags.get_int_or("seed", 42));
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "elibrary_priority", /*default_duration_s=*/10,
+      /*default_seed=*/42, {"rps"});
+  const double rps = options.flags.get_double_or("rps", 30.0);
+  const auto duration = sim::seconds(options.duration_s);
+  const auto seed = options.seed;
 
   std::printf("e-library, %g RPS per workload, %lld s measured\n\n", rps,
-              static_cast<long long>(duration / sim::kSecond));
+              static_cast<long long>(options.duration_s));
   std::printf("topology (paper Fig. 3):\n"
               "  client -> [ingress gateway] -> frontend -> { details,\n"
               "             reviews-v1 (priority=high) | reviews-v2\n"
               "             (priority=low) } ; reviews -> ratings\n"
               "  all vNICs 15 Gbps, ratings vNIC 1 Gbps (bottleneck)\n\n");
 
-  workload::ElibraryExperimentResult results[2];
+  workload::SweepRunner runner(workload::sweep_options(options));
+  std::vector<workload::ElibraryExperimentResult> results(2);
   for (const bool cross_layer : {false, true}) {
-    workload::ElibraryExperimentConfig config;
-    config.ls_rps = rps;
-    config.li_rps = rps;
-    config.duration = duration;
-    config.seed = seed;
-    config.cross_layer = cross_layer;
-    results[cross_layer ? 1 : 0] = workload::run_elibrary_experiment(config);
+    const std::size_t slot = cross_layer ? 1 : 0;
+    runner.add({{"cross_layer", cross_layer ? "on" : "off"}},
+               [rps, duration, seed, cross_layer, slot, &results] {
+                 workload::ElibraryExperimentConfig config;
+                 config.ls_rps = rps;
+                 config.li_rps = rps;
+                 config.duration = duration;
+                 config.seed = seed;
+                 config.cross_layer = cross_layer;
+                 results[slot] = workload::run_elibrary_experiment(config);
+                 return workload::elibrary_point_metrics(results[slot]);
+               });
+  }
+  const workload::SweepResult sweep = runner.run();
+  for (const bool cross_layer : {false, true}) {
     std::printf("%s cross-layer optimization: done (%llu events)\n",
                 cross_layer ? "with   " : "without",
                 static_cast<unsigned long long>(
@@ -78,5 +93,12 @@ int main(int argc, char** argv) {
   controller.install();
   std::printf("installed tc rules (`tc qdisc show` equivalent):\n%s\n",
               controller.tc().show().c_str());
-  return 0;
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "elibrary_priority",
+      {{"seed", std::to_string(seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"rps", stats::Table::num(rps, 0)}},
+      sweep);
+  return workload::finish_harness(report, options);
 }

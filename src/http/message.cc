@@ -5,7 +5,11 @@
 namespace meshnet::http {
 
 namespace {
-std::uint64_t g_request_counter = 0;
+// thread_local so concurrent sweep points (each a whole simulation running
+// on one worker thread, see workload/sweep_runner.h) draw independent,
+// reproducible id sequences: every experiment resets the counter at start
+// and runs to completion on a single thread.
+thread_local std::uint64_t g_request_counter = 0;
 }  // namespace
 
 std::string_view status_text(int status) noexcept {

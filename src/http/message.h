@@ -37,12 +37,14 @@ struct HttpResponse {
 /// Reason phrases for the subset of statuses the mesh generates.
 std::string_view status_text(int status) noexcept;
 
-/// Fresh globally unique request id ("req-<counter>-<hex>"). Deterministic
-/// across a run given the same call sequence; uniqueness is process-wide.
+/// Fresh unique request id ("req-<counter>-<hex>"). Deterministic across a
+/// run given the same call sequence; the counter is thread-local, so
+/// simulations running concurrently on different threads (sweep points)
+/// draw the same sequences they would single-threaded.
 std::string generate_request_id();
 
-/// Resets the request-id counter (tests and benches call this so repeated
-/// experiments in one process produce identical ids).
+/// Resets the calling thread's request-id counter (experiments call this
+/// at start so repeated runs in one process produce identical ids).
 void reset_request_id_counter();
 
 }  // namespace meshnet::http

@@ -48,6 +48,18 @@ class LogHistogram {
   int precision_bits() const noexcept { return k_; }
   std::size_t bucket_count() const noexcept { return counts_.size(); }
 
+  /// Bit-exact equality: same precision, same per-bucket counts, same
+  /// min/max/sum accumulators. The determinism tests use this to assert
+  /// that a sweep produces identical histograms at any thread count.
+  friend bool operator==(const LogHistogram& a, const LogHistogram& b) {
+    return a.k_ == b.k_ && a.total_count_ == b.total_count_ &&
+           a.min_ == b.min_ && a.max_ == b.max_ && a.sum_ == b.sum_ &&
+           a.sum_sq_ == b.sum_sq_ && a.counts_ == b.counts_;
+  }
+  friend bool operator!=(const LogHistogram& a, const LogHistogram& b) {
+    return !(a == b);
+  }
+
  private:
   std::size_t index_of(std::uint64_t value) const noexcept;
   std::uint64_t value_of(std::size_t index) const noexcept;

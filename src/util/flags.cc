@@ -1,5 +1,7 @@
 #include "util/flags.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "util/strings.h"
@@ -15,20 +17,49 @@ Flags Flags::parse(int argc, const char* const* argv) {
       continue;
     }
     arg.remove_prefix(2);
+    std::string name;
+    std::string value;
     const auto eq = arg.find('=');
     if (eq != std::string_view::npos) {
-      flags.values_[std::string(arg.substr(0, eq))] =
-          std::string(arg.substr(eq + 1));
-      continue;
-    }
-    // "--name value" when the next token is not itself a flag; otherwise a
-    // bare boolean "--name".
-    if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
-      flags.values_[std::string(arg)] = argv[i + 1];
+      name = std::string(arg.substr(0, eq));
+      value = std::string(arg.substr(eq + 1));
+    } else if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+      // "--name value" when the next token is not itself a flag.
+      name = std::string(arg);
+      value = argv[i + 1];
       ++i;
     } else {
-      flags.values_[std::string(arg)] = "true";
+      // Bare boolean "--name".
+      name = std::string(arg);
+      value = "true";
     }
+    auto [it, inserted] = flags.values_.emplace(name, value);
+    if (!inserted) {
+      it->second = value;  // later duplicate wins, but is recorded
+      if (std::find(flags.duplicates_.begin(), flags.duplicates_.end(),
+                    name) == flags.duplicates_.end()) {
+        flags.duplicates_.push_back(name);
+      }
+    }
+  }
+  return flags;
+}
+
+Flags Flags::parse_or_die(int argc, const char* const* argv,
+                          const std::vector<std::string_view>& known,
+                          const std::vector<std::string_view>& known_prefixes) {
+  Flags flags = parse(argc, argv);
+  const std::string error = flags.validate(known, known_prefixes);
+  if (!error.empty()) {
+    std::fprintf(stderr, "%s: %s\n", argc > 0 ? argv[0] : "flags",
+                 error.c_str());
+    std::string list;
+    for (const std::string_view name : known) {
+      list += list.empty() ? "--" : ", --";
+      list += name;
+    }
+    std::fprintf(stderr, "known flags: %s\n", list.c_str());
+    std::exit(2);
   }
   return flags;
 }
@@ -72,6 +103,37 @@ bool Flags::get_bool_or(std::string_view name, bool fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
   return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Flags::unknown(
+    const std::vector<std::string_view>& known,
+    const std::vector<std::string_view>& known_prefixes) const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (std::find(known.begin(), known.end(), name) != known.end()) continue;
+    const bool prefixed = std::any_of(
+        known_prefixes.begin(), known_prefixes.end(),
+        [&name = name](std::string_view prefix) {
+          return starts_with(name, prefix);
+        });
+    if (!prefixed) out.push_back(name);
+  }
+  return out;
+}
+
+std::string Flags::validate(
+    const std::vector<std::string_view>& known,
+    const std::vector<std::string_view>& known_prefixes) const {
+  std::string error;
+  for (const std::string& name : unknown(known, known_prefixes)) {
+    if (!error.empty()) error += "; ";
+    error += "unknown flag --" + name;
+  }
+  for (const std::string& name : duplicates_) {
+    if (!error.empty()) error += "; ";
+    error += "duplicate flag --" + name;
+  }
+  return error;
 }
 
 }  // namespace meshnet::util

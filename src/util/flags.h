@@ -2,9 +2,13 @@
 
 // Tiny command-line flag parser used by the examples and bench binaries.
 //
-// Supports "--name=value", "--name value", and boolean "--name". Unknown
-// flags are collected so callers can decide whether to reject them (bench
-// binaries must tolerate google-benchmark's own flags).
+// Supports "--name=value", "--name value", and boolean "--name". Parsing
+// never fails, but problems are *recorded* instead of silently ignored:
+// duplicate occurrences land in duplicates(), and validate()/parse_or_die()
+// reject flags outside a binary's declared set — a typo like
+// `--thread=8` must abort the run, not silently sweep with defaults.
+// Binaries that embed other flag-parsing libraries (google-benchmark)
+// whitelist those by prefix.
 
 #include <cstdint>
 #include <map>
@@ -17,8 +21,16 @@ namespace meshnet::util {
 
 class Flags {
  public:
-  /// Parses argv (excluding argv[0]). Later duplicates override earlier ones.
+  /// Parses argv (excluding argv[0]). Later duplicates override earlier
+  /// ones; every duplicated name is also recorded in duplicates().
   static Flags parse(int argc, const char* const* argv);
+
+  /// parse() + validate(); on any error prints the message and the known
+  /// flag list to stderr and exits with status 2.
+  static Flags parse_or_die(int argc, const char* const* argv,
+                            const std::vector<std::string_view>& known,
+                            const std::vector<std::string_view>&
+                                known_prefixes = {});
 
   bool has(std::string_view name) const;
 
@@ -33,9 +45,25 @@ class Flags {
   /// Positional (non-flag) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// Flag names that appeared more than once, in first-repeat order.
+  const std::vector<std::string>& duplicates() const { return duplicates_; }
+
+  /// Parsed flags not in `known` and not matching any of `known_prefixes`.
+  std::vector<std::string> unknown(
+      const std::vector<std::string_view>& known,
+      const std::vector<std::string_view>& known_prefixes = {}) const;
+
+  /// Human-readable description of every problem (unknown flags given the
+  /// declared set, plus duplicates). Empty string when the command line is
+  /// clean.
+  std::string validate(const std::vector<std::string_view>& known,
+                       const std::vector<std::string_view>& known_prefixes =
+                           {}) const;
+
  private:
   std::map<std::string, std::string, std::less<>> values_;
   std::vector<std::string> positional_;
+  std::vector<std::string> duplicates_;
 };
 
 }  // namespace meshnet::util

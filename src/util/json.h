@@ -1,0 +1,94 @@
+#pragma once
+
+// Minimal dependency-free JSON document: build, serialize, parse.
+//
+// Only what the bench pipeline needs — objects keep insertion order (so
+// emitted reports have a stable, diffable field order), numbers round-trip
+// exactly (%.17g), and the parser accepts exactly what dump() emits plus
+// ordinary hand-written JSON (no comments, no trailing commas).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace meshnet::util {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool value) : kind_(Kind::kBool), bool_(value) {}
+  Json(double value) : kind_(Kind::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(std::int64_t value) : Json(static_cast<double>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<double>(value)) {}
+  Json(std::string value) : kind_(Kind::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : Json(std::string(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+
+  static Json array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+
+  /// Array append; no-op unless this is an array.
+  void push_back(Json value);
+
+  /// Object insert/overwrite, preserving first-insertion order.
+  void set(std::string_view key, Json value);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const Json* find(std::string_view key) const;
+
+  double number_or(double fallback) const {
+    return kind_ == Kind::kNumber ? number_ : fallback;
+  }
+  bool bool_or(bool fallback) const {
+    return kind_ == Kind::kBool ? bool_ : fallback;
+  }
+  const std::string& string_or(const std::string& fallback) const {
+    return kind_ == Kind::kString ? string_ : fallback;
+  }
+
+  const std::vector<Json>& items() const noexcept { return items_; }
+  const std::vector<std::pair<std::string, Json>>& members() const noexcept {
+    return members_;
+  }
+
+  /// Serializes. `indent` < 0 renders compact; otherwise pretty-printed
+  /// with that many spaces per level and a trailing newline at top level.
+  std::string dump(int indent = -1) const;
+
+  /// Parses a complete JSON document. On failure returns nullopt and, if
+  /// `error` is non-null, stores a message with the byte offset.
+  static std::optional<Json> parse(std::string_view text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+}  // namespace meshnet::util

@@ -1,0 +1,62 @@
+#pragma once
+
+// Fixed-size worker pool for fanning independent jobs across threads.
+//
+// The pool is deliberately minimal: submit() enqueues a job, wait_idle()
+// blocks until every submitted job has finished. Jobs must be independent
+// (the pool gives no ordering guarantees between them); anything that needs
+// a deterministic result must derive it from the job's *inputs*, not from
+// scheduling — which is exactly the contract workload::SweepRunner builds
+// on. A job that throws stores the first exception, which wait_idle()
+// rethrows on the caller's thread.
+
+#include <cstddef>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace meshnet::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; values < 1 are clamped to 1, and 0 means
+  /// "one per hardware thread" (at least 1).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Safe to call from any thread, including from inside
+  /// a running job.
+  void submit(std::function<void()> job);
+
+  /// Blocks until the queue is empty and all workers are idle. Rethrows
+  /// the first exception any job raised since the last wait_idle().
+  void wait_idle();
+
+  int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// The worker count a `threads` option resolves to (0 => hardware).
+  static int resolve_thread_count(int requested);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace meshnet::util

@@ -1,0 +1,99 @@
+#include "workload/bench_harness.h"
+
+#include <cstdio>
+
+namespace meshnet::workload {
+
+HarnessOptions parse_harness_flags(
+    int argc, const char* const* argv, std::string_view experiment,
+    std::int64_t default_duration_s, std::uint64_t default_seed,
+    const std::vector<std::string_view>& extra_flags,
+    const std::vector<std::string_view>& extra_prefixes) {
+  std::vector<std::string_view> known = {"threads",  "json-out", "baseline",
+                                         "tolerance", "duration", "seed"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+
+  HarnessOptions options;
+  options.flags = util::Flags::parse_or_die(argc, argv, known, extra_prefixes);
+  options.threads =
+      static_cast<int>(options.flags.get_int_or("threads", 1));
+  options.json_out = options.flags.get_or("json-out", "");
+  if (options.json_out == "true") {  // bare --json-out
+    options.json_out = "BENCH_" + std::string(experiment) + ".json";
+  }
+  options.baseline = options.flags.get_or("baseline", "");
+  options.tolerance = options.flags.get_double_or("tolerance", 1e-9);
+  options.duration_s =
+      options.flags.get_int_or("duration", default_duration_s);
+  options.seed = static_cast<std::uint64_t>(options.flags.get_int_or(
+      "seed", static_cast<std::int64_t>(default_seed)));
+  return options;
+}
+
+SweepOptions sweep_options(const HarnessOptions& options) {
+  SweepOptions sweep;
+  sweep.threads = options.threads;
+  sweep.progress = true;
+  return sweep;
+}
+
+int finish_harness(const stats::BenchReport& report,
+                   const HarnessOptions& options) {
+  if (!options.json_out.empty()) {
+    const std::string error = report.write_file(options.json_out);
+    if (!error.empty()) {
+      std::fprintf(stderr, "json-out: %s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s (%zu points)\n", options.json_out.c_str(),
+                 report.points.size());
+  }
+  if (!options.baseline.empty()) {
+    std::string error;
+    const auto baseline = stats::load_report(options.baseline, &error);
+    if (!baseline) {
+      std::fprintf(stderr, "baseline: %s\n", error.c_str());
+      return 2;
+    }
+    stats::CompareOptions compare;
+    compare.default_tolerance = options.tolerance;
+    const stats::CompareOutcome outcome =
+        stats::compare_reports(*baseline, report.to_json(), compare);
+    for (const std::string& failure : outcome.failures) {
+      std::fprintf(stderr, "FAIL %s\n", failure.c_str());
+    }
+    std::printf("baseline %s: %zu comparisons, %zu failures — %s\n",
+                options.baseline.c_str(), outcome.compared,
+                outcome.failures.size(), outcome.ok ? "OK" : "REGRESSION");
+    if (!outcome.ok) return 1;
+  }
+  return 0;
+}
+
+PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result) {
+  PointMetrics metrics;
+  const auto add_workload = [&metrics](const std::string& prefix,
+                                       const WorkloadSummary& summary) {
+    metrics.scalars[prefix + "_p50_ms"] = summary.p50_ms;
+    metrics.scalars[prefix + "_p90_ms"] = summary.p90_ms;
+    metrics.scalars[prefix + "_p99_ms"] = summary.p99_ms;
+    metrics.scalars[prefix + "_mean_ms"] = summary.mean_ms;
+    metrics.scalars[prefix + "_rps"] = summary.achieved_rps;
+    const double total =
+        static_cast<double>(summary.completed + summary.errors);
+    metrics.scalars[prefix + "_success_rate"] =
+        total > 0 ? static_cast<double>(summary.completed) / total : 1.0;
+    metrics.counters[prefix + "_completed"] = summary.completed;
+    metrics.counters[prefix + "_errors"] = summary.errors;
+  };
+  add_workload("ls", result.ls);
+  add_workload("li", result.li);
+  metrics.scalars["bottleneck_utilization"] = result.bottleneck_utilization;
+  metrics.counters["bottleneck_drops"] = result.bottleneck_drops;
+  metrics.counters["events"] = result.events_executed;
+  metrics.histograms["ls_latency_ns"] = result.ls_latency;
+  metrics.histograms["li_latency_ns"] = result.li_latency;
+  return metrics;
+}
+
+}  // namespace meshnet::workload

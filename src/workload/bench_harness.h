@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared command-line front end for the bench binaries and example
+// sweeps. Every binary that reproduces a figure/table row accepts the
+// same harness flags:
+//
+//   --threads=N     sweep points fanned across N workers (0 = all cores;
+//                   results are bit-identical at any N)
+//   --json-out[=P]  write the machine-readable report (default path
+//                   BENCH_<experiment>.json)
+//   --baseline=P    after the run, compare against a committed baseline
+//                   and exit 1 on regression (same rules as bench_check)
+//   --tolerance=R   relative tolerance for --baseline comparisons
+//   --duration=S    measured seconds per point
+//   --seed=S        run-level PRNG seed
+//
+// plus any bench-specific flags the binary declares. Unknown or duplicate
+// flags abort with exit code 2 (a typo must not silently run a default
+// sweep).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/bench_report.h"
+#include "util/flags.h"
+#include "workload/elibrary_experiment.h"
+#include "workload/sweep_runner.h"
+
+namespace meshnet::workload {
+
+struct HarnessOptions {
+  int threads = 1;
+  std::string json_out;   ///< empty = no report file
+  std::string baseline;   ///< empty = no comparison
+  double tolerance = 1e-9;
+  std::int64_t duration_s = 0;
+  std::uint64_t seed = 0;
+  util::Flags flags;      ///< full parse, for bench-specific extras
+};
+
+/// Parses and validates argv against the standard harness flags plus
+/// `extra_flags` (and `extra_prefixes`, for embedded libraries like
+/// google-benchmark). Exits 2 on unknown/duplicate flags. The experiment
+/// id decides the default --json-out path.
+HarnessOptions parse_harness_flags(
+    int argc, const char* const* argv, std::string_view experiment,
+    std::int64_t default_duration_s, std::uint64_t default_seed,
+    const std::vector<std::string_view>& extra_flags = {},
+    const std::vector<std::string_view>& extra_prefixes = {});
+
+/// SweepOptions matching the parsed flags (progress lines on stderr).
+SweepOptions sweep_options(const HarnessOptions& options);
+
+/// Post-run bookkeeping: writes --json-out if requested, then compares
+/// against --baseline if given. Returns the process exit code (0 ok,
+/// 1 regression, 2 I/O or parse failure).
+int finish_harness(const stats::BenchReport& report,
+                   const HarnessOptions& options);
+
+/// The standard metric set for one e-library experiment run: per-workload
+/// p50/p90/p99/mean, success rate, completion/error/event counters and
+/// the raw latency histograms.
+PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result);
+
+}  // namespace meshnet::workload

@@ -107,6 +107,8 @@ ElibraryExperimentResult run_elibrary_experiment(
   ElibraryExperimentResult result;
   result.ls = summarize(ls_gen);
   result.li = summarize(li_gen);
+  result.ls_latency = ls_gen.recorder().histogram();
+  result.li_latency = li_gen.recorder().histogram();
 
   net::Link& bottleneck = app.bottleneck_link();
   result.bottleneck_utilization =

@@ -12,6 +12,7 @@
 
 #include "app/elibrary.h"
 #include "core/cross_layer.h"
+#include "stats/histogram.h"
 #include "workload/generator.h"
 
 namespace meshnet::workload {
@@ -57,6 +58,12 @@ struct WorkloadSummary {
 struct ElibraryExperimentResult {
   WorkloadSummary ls;
   WorkloadSummary li;
+
+  /// Full latency distributions (nanoseconds, wrk2 scheduled-time
+  /// convention) behind the summaries above. Bit-identical across runs
+  /// with the same config — the determinism golden tests compare these.
+  stats::LogHistogram ls_latency;
+  stats::LogHistogram li_latency;
   double bottleneck_utilization = 0.0;
   std::uint64_t bottleneck_drops = 0;
   std::uint64_t high_band_bytes = 0;  ///< dequeued from the priority band

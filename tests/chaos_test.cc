@@ -6,8 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "workload/chaos_experiment.h"
+#include "workload/sweep_runner.h"
 
 namespace meshnet::workload {
 namespace {
@@ -99,6 +103,82 @@ TEST(ChaosExperiment, ResilienceRidesThroughCrashBaselineDegrades) {
             resilient.during.success_rate - 0.05);
   // And its p99 during the fault is dominated by the request deadline.
   EXPECT_GT(baseline.during.p99_ms, resilient.during.p99_ms);
+}
+
+// The chaos experiment through the sweep runner: both arms (resilient and
+// baseline) fan across worker threads, and the entire result — per-phase
+// metrics, fault log, mesh event log, event counts — must be bit-identical
+// at every thread count. The fault/mesh logs are the strongest witnesses:
+// a single reordered event anywhere in the simulation changes them.
+TEST(ChaosExperiment, SweepBitIdenticalAcrossThreadCounts) {
+  const auto run_sweep = [](int threads) {
+    SweepOptions options;
+    options.threads = threads;
+    SweepRunner runner(options);
+    auto results =
+        std::make_shared<std::vector<ChaosExperimentResult>>(2);
+    for (const bool resilience : {true, false}) {
+      const std::size_t slot = resilience ? 0 : 1;
+      runner.add({{"resilience", resilience ? "on" : "off"}},
+                 [resilience, slot, results] {
+                   ChaosExperimentConfig config = small_config();
+                   config.resilience = resilience;
+                   (*results)[slot] = run_chaos_elibrary_experiment(config);
+                   const ChaosExperimentResult& r = (*results)[slot];
+                   PointMetrics metrics;
+                   metrics.scalars["during_goodput_rps"] =
+                       r.during.goodput_rps;
+                   metrics.scalars["during_p99_ms"] = r.during.p99_ms;
+                   metrics.counters["events"] = r.events_executed;
+                   metrics.counters["fault_log"] = r.fault_log.size();
+                   metrics.counters["mesh_events"] = r.mesh_events.size();
+                   return metrics;
+                 });
+    }
+    const SweepResult sweep = runner.run();
+    return std::make_pair(sweep, results);
+  };
+
+  const auto [serial_sweep, serial_results] = run_sweep(1);
+  for (const int threads : {4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto [parallel_sweep, parallel_results] = run_sweep(threads);
+
+    ASSERT_EQ(parallel_sweep.points.size(), serial_sweep.points.size());
+    for (std::size_t i = 0; i < serial_sweep.points.size(); ++i) {
+      EXPECT_EQ(parallel_sweep.points[i].id, serial_sweep.points[i].id);
+      EXPECT_EQ(parallel_sweep.points[i].metrics.counters,
+                serial_sweep.points[i].metrics.counters);
+      for (const auto& [name, value] :
+           serial_sweep.points[i].metrics.scalars) {
+        EXPECT_EQ(parallel_sweep.points[i].metrics.scalars.at(name), value)
+            << name;
+      }
+    }
+
+    // Event-for-event equality of both arms' determinism witnesses.
+    for (std::size_t arm = 0; arm < 2; ++arm) {
+      const ChaosExperimentResult& a = (*serial_results)[arm];
+      const ChaosExperimentResult& b = (*parallel_results)[arm];
+      EXPECT_EQ(a.events_executed, b.events_executed);
+      ASSERT_EQ(a.fault_log.size(), b.fault_log.size());
+      for (std::size_t i = 0; i < a.fault_log.size(); ++i) {
+        EXPECT_EQ(a.fault_log[i].at, b.fault_log[i].at);
+        EXPECT_EQ(a.fault_log[i].action, b.fault_log[i].action);
+        EXPECT_EQ(a.fault_log[i].target, b.fault_log[i].target);
+      }
+      ASSERT_EQ(a.mesh_events.size(), b.mesh_events.size());
+      for (std::size_t i = 0; i < a.mesh_events.size(); ++i) {
+        EXPECT_EQ(a.mesh_events[i].at, b.mesh_events[i].at);
+        EXPECT_EQ(a.mesh_events[i].kind, b.mesh_events[i].kind);
+        EXPECT_EQ(a.mesh_events[i].subject, b.mesh_events[i].subject);
+        EXPECT_EQ(a.mesh_events[i].detail, b.mesh_events[i].detail);
+      }
+      EXPECT_EQ(a.ls.completed, b.ls.completed);
+      EXPECT_EQ(a.ls.errors, b.ls.errors);
+      EXPECT_DOUBLE_EQ(a.ls.p99_ms, b.ls.p99_ms);
+    }
+  }
 }
 
 }  // namespace

@@ -260,5 +260,99 @@ TEST(Table, NumFormatsPrecision) {
   EXPECT_EQ(Table::num(3.0, 0), "3");
 }
 
+// ---------------------------------------------------------------------------
+// Sharded-merge properties. The sweep runner's determinism guarantee rests
+// on these: merging K per-point recorders must equal one recorder fed the
+// concatenated samples, for ANY split of the samples into shards.
+
+TEST(LogHistogram, ShardedMergeEqualsCombined_RandomSplits) {
+  std::mt19937_64 rng(0xfeed);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int shards = 1 + static_cast<int>(rng() % 8);
+    // Spread values across both the exact (< 2^k) and bucketed ranges of
+    // the histogram. Cap at 2^20 so the sum of squares stays within the
+    // double-exact integer range: equality below is bit-exact, and summing
+    // inexact squares in shard order vs sample order would differ in the
+    // last ulp without any merge bug.
+    std::vector<std::uint64_t> samples(500 + rng() % 1500);
+    for (auto& v : samples) v = rng() % (1ULL << (8 + rng() % 13));
+
+    LogHistogram combined;
+    std::vector<LogHistogram> parts(static_cast<std::size_t>(shards));
+    for (const std::uint64_t v : samples) {
+      combined.record(v);
+      parts[rng() % static_cast<std::uint64_t>(shards)].record(v);
+    }
+    LogHistogram merged;
+    for (const LogHistogram& part : parts) merged.merge(part);
+
+    // Bit-exact equivalence, not just "close": operator== compares every
+    // bucket plus min/max/sum/sum_sq.
+    EXPECT_EQ(merged, combined) << "trial=" << trial << " shards=" << shards;
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0}) {
+      EXPECT_EQ(merged.percentile(p), combined.percentile(p))
+          << "trial=" << trial << " p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(merged.mean(), combined.mean());
+  }
+}
+
+TEST(LogHistogram, ShardedMergeOrderInvariant) {
+  // Merging the same shards in a different order must give the same
+  // histogram (counts are integers, sums are exact for these values), so
+  // the sweep runner's fixed input-order merge is deterministic.
+  std::mt19937_64 rng(77);
+  std::vector<LogHistogram> parts(5);
+  for (int i = 0; i < 2000; ++i) {
+    parts[rng() % parts.size()].record(rng() % 1000000);
+  }
+  LogHistogram forward, backward;
+  for (std::size_t i = 0; i < parts.size(); ++i) forward.merge(parts[i]);
+  for (std::size_t i = parts.size(); i-- > 0;) backward.merge(parts[i]);
+  EXPECT_EQ(forward, backward);
+}
+
+TEST(RunningStats, ShardedMergeEqualsCombined_RandomSplits) {
+  std::mt19937_64 rng(0xbeef);
+  std::lognormal_distribution<double> dist(2.0, 1.5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int shards = 1 + static_cast<int>(rng() % 8);
+    RunningStats combined;
+    std::vector<RunningStats> parts(static_cast<std::size_t>(shards));
+    const int n = 200 + static_cast<int>(rng() % 800);
+    for (int i = 0; i < n; ++i) {
+      const double v = dist(rng);
+      combined.record(v);
+      parts[rng() % static_cast<std::uint64_t>(shards)].record(v);
+    }
+    RunningStats merged;
+    for (const RunningStats& part : parts) merged.merge(part);
+
+    EXPECT_EQ(merged.count(), combined.count());
+    EXPECT_DOUBLE_EQ(merged.min(), combined.min());
+    EXPECT_DOUBLE_EQ(merged.max(), combined.max());
+    // Welford merge reassociates the sums, so exactness is only up to
+    // floating-point; the tolerance is tight enough to catch logic bugs.
+    EXPECT_NEAR(merged.mean(), combined.mean(),
+                1e-9 * std::abs(combined.mean()));
+    EXPECT_NEAR(merged.variance(), combined.variance(),
+                1e-6 * std::max(1.0, combined.variance()));
+  }
+}
+
+TEST(LogHistogram, EqualityDetectsDifferences) {
+  LogHistogram a, b;
+  a.record(100);
+  b.record(100);
+  EXPECT_EQ(a, b);
+  b.record(100);
+  EXPECT_NE(a, b);
+
+  LogHistogram c(7), d(6);  // same data, different precision
+  c.record(1 << 20);
+  d.record(1 << 20);
+  EXPECT_NE(c, d);
+}
+
 }  // namespace
 }  // namespace meshnet::stats
