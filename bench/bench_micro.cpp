@@ -12,17 +12,50 @@
 
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "http/codec.h"
+#include "net/payload.h"
 #include "net/qdisc.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "workload/bench_harness.h"
 
 using namespace meshnet;
+
+// Counting global operator new: lets the scheduler/payload benches report
+// allocations per operation (the zero-alloc claim, measured).
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC cannot see that the replacement operator new below is malloc-based
+// and flags every new/free pairing in this TU.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 static void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -36,6 +69,114 @@ static void BM_SimulatorScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SimulatorScheduleRun);
+
+namespace {
+
+// Retry-timer churn: the sidecar/RTO pattern. Every fire re-arms itself
+// and cancels + re-arms a neighbour (an ACK disarming a retransmit
+// timer), so half of all scheduled timers are cancelled before they fire.
+struct Churn {
+  sim::Simulator sim;
+  std::array<sim::EventId, 256> timers{};
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+  int remaining = 20000;
+
+  void arm(int slot) {
+    if (remaining <= 0) return;
+    --remaining;
+    rng = rng * 6364136223846793005ULL + 1442695040888963407ULL;
+    const sim::Duration delay =
+        1 + static_cast<sim::Duration>((rng >> 33) % 2'000'000);  // <= 2 ms
+    timers[static_cast<std::size_t>(slot)] =
+        sim.schedule_after(delay, [this, slot] { fired(slot); });
+  }
+
+  void fired(int slot) {
+    timers[static_cast<std::size_t>(slot)] = sim::kInvalidEventId;
+    arm(slot);
+    const int n = (slot + 1) & 255;
+    if (timers[static_cast<std::size_t>(n)] != sim::kInvalidEventId) {
+      sim.cancel(timers[static_cast<std::size_t>(n)]);
+      timers[static_cast<std::size_t>(n)] = sim::kInvalidEventId;
+      arm(n);
+    }
+  }
+
+  std::uint64_t run() {
+    for (int i = 0; i < 256; ++i) arm(i);
+    sim.run();
+    return sim.events_executed();
+  }
+};
+
+}  // namespace
+
+static void BM_SchedulerChurn(benchmark::State& state) {
+  std::uint64_t events = 0;
+  std::uint64_t allocs = 0;
+  for (auto _ : state) {
+    Churn churn;
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    events += churn.run();
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events_per_rep"] = benchmark::Counter(
+      static_cast<double>(events) / static_cast<double>(state.iterations()));
+  state.counters["allocs_per_event"] =
+      benchmark::Counter(static_cast<double>(allocs) /
+                         static_cast<double>(events > 0 ? events : 1));
+}
+BENCHMARK(BM_SchedulerChurn);
+
+// Bulk cancellation of far-future timers: the pattern that used to leave
+// tombstones in the queue forever. Lazy compaction must keep this cheap.
+static void BM_SchedulerCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventId> ids;
+    ids.reserve(10000);
+    for (int i = 0; i < 10000; ++i) {
+      ids.push_back(sim.schedule_after(sim::seconds(100) + i, [] {}));
+    }
+    for (const sim::EventId id : ids) sim.cancel(id);
+    sim.schedule_after(1, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_SchedulerCancelHeavy);
+
+// Steady-state packet flow through the pool: one block copy per "send",
+// sliced into MSS segments, all refs dropped each round. Once the pool is
+// warm this should be allocation-free.
+static void BM_PayloadSendSlice(benchmark::State& state) {
+  const std::string data(16 * 1024, 'x');
+  std::uint64_t allocs = 0;
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    net::Payload whole = net::Payload::copy_of(data);
+    std::size_t offset = 0;
+    while (offset < data.size()) {
+      const std::size_t len = std::min<std::size_t>(1460, data.size() - offset);
+      net::Payload seg = whole.slice(offset, len);
+      benchmark::DoNotOptimize(seg.view().data());
+      offset += len;
+    }
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++rounds;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(rounds) *
+                          static_cast<std::int64_t>(data.size()));
+  state.counters["allocs_per_round"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(rounds > 0 ? rounds : 1));
+}
+BENCHMARK(BM_PayloadSendSlice);
 
 static void BM_HistogramRecord(benchmark::State& state) {
   stats::LogHistogram histogram(7);
@@ -64,7 +205,7 @@ BENCHMARK(BM_HistogramPercentile);
 static void BM_FifoQdisc(benchmark::State& state) {
   net::FifoQdisc qdisc(1 << 30);
   net::Packet packet;
-  packet.payload = std::make_shared<const std::string>(1400, 'x');
+  packet.payload = net::Payload::filled(1400, 'x');
   for (auto _ : state) {
     qdisc.enqueue(packet, 0);
     benchmark::DoNotOptimize(qdisc.dequeue(0));
@@ -78,7 +219,7 @@ static void BM_WeightedPrioQdisc(benchmark::State& state) {
                                1 << 30);
   net::Packet high;
   high.dscp = net::Dscp::kExpedited;
-  high.payload = std::make_shared<const std::string>(1400, 'x');
+  high.payload = net::Payload::filled(1400, 'x');
   net::Packet low;
   low.dscp = net::Dscp::kScavenger;
   low.payload = high.payload;
@@ -91,6 +232,64 @@ static void BM_WeightedPrioQdisc(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2);
 }
 BENCHMARK(BM_WeightedPrioQdisc);
+
+static void BM_HeaderMapGet(benchmark::State& state) {
+  http::HeaderMap headers;
+  headers.set("x-app", "frontend");
+  headers.set(http::headers::Id::kHost, "reviews");
+  headers.set(http::headers::Id::kRequestId, "req-1-abcdef");
+  headers.set(http::headers::Id::kTraceId, "trace-0000000000000001");
+  headers.set(http::headers::Id::kMeshPriority, "high");
+  for (auto _ : state) {
+    // Interned fast path (integer compare)...
+    benchmark::DoNotOptimize(headers.get(http::headers::Id::kMeshPriority));
+    // ...string name of a well-known header (interned per lookup)...
+    benchmark::DoNotOptimize(headers.get("X-Mesh-Priority"));
+    // ...and the slow path for an unknown name.
+    benchmark::DoNotOptimize(headers.get("x-app"));
+  }
+  state.SetItemsProcessed(state.iterations() * 3);
+}
+BENCHMARK(BM_HeaderMapGet);
+
+static void BM_HeaderMapSet(benchmark::State& state) {
+  for (auto _ : state) {
+    http::HeaderMap headers;
+    headers.set(http::headers::Id::kHost, "reviews");
+    headers.set(http::headers::Id::kRequestId, "req-1-abcdef");
+    headers.set(http::headers::Id::kMeshPriority, "high");
+    headers.set(http::headers::Id::kMeshPriority, "low");  // overwrite
+    benchmark::DoNotOptimize(headers.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_HeaderMapSet);
+
+// The microservice fan-out pattern: copy the propagated trace/identity
+// headers from an inbound request onto a sub-request.
+static void BM_HeaderPropagation(benchmark::State& state) {
+  http::HeaderMap inbound;
+  inbound.set(http::headers::Id::kRequestId, "req-1-abcdef");
+  inbound.set(http::headers::Id::kTraceId, "trace-0000000000000001");
+  inbound.set(http::headers::Id::kSpanId, "span-0000000000000002");
+  inbound.set(http::headers::Id::kMeshPriority, "high");
+  constexpr http::headers::Id kPropagated[] = {
+      http::headers::Id::kRequestId,
+      http::headers::Id::kTraceId,
+      http::headers::Id::kSpanId,
+      http::headers::Id::kMeshPriority,
+  };
+  for (auto _ : state) {
+    http::HeaderMap sub;
+    sub.set(http::headers::Id::kHost, "ratings");
+    for (const http::headers::Id id : kPropagated) {
+      if (const auto value = inbound.get(id)) sub.set(id, *value);
+    }
+    benchmark::DoNotOptimize(sub.size());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HeaderPropagation);
 
 static void BM_HttpSerializeRequest(benchmark::State& state) {
   http::HttpRequest request;

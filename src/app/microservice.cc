@@ -10,10 +10,10 @@ namespace meshnet::app {
 namespace {
 /// Headers the app copies from the inbound request onto sub-requests
 /// (mesh cooperation contract; see class comment).
-constexpr std::string_view kPropagatedHeaders[] = {
-    http::headers::kRequestId,
-    http::headers::kTraceId,
-    http::headers::kSpanId,
+constexpr http::headers::Id kPropagatedHeaders[] = {
+    http::headers::Id::kRequestId,
+    http::headers::Id::kTraceId,
+    http::headers::Id::kSpanId,
 };
 }  // namespace
 
@@ -45,10 +45,10 @@ void Microservice::serve(http::HttpRequest request,
     // All workers busy: wait for admission. With priority scheduling,
     // high-priority requests enter ahead of every queued low/default one.
     if (options_.priority_scheduling &&
-        request.headers.get_or(http::headers::kMeshPriority, "") == "high") {
+        request.headers.get_or(http::headers::Id::kMeshPriority, "") == "high") {
       auto it = admission_queue_.begin();
       while (it != admission_queue_.end() &&
-             it->first.headers.get_or(http::headers::kMeshPriority, "") ==
+             it->first.headers.get_or(http::headers::Id::kMeshPriority, "") ==
                  "high") {
         ++it;
       }
@@ -133,16 +133,16 @@ void Microservice::fan_out(std::shared_ptr<http::HttpRequest> request,
     http::HttpRequest sub;
     sub.method = call.method;
     sub.path = call.path;
-    sub.headers.set(http::headers::kHost, call.service);
-    for (const std::string_view header : kPropagatedHeaders) {
+    sub.headers.set(http::headers::Id::kHost, call.service);
+    for (const http::headers::Id header : kPropagatedHeaders) {
       if (const auto value = request->headers.get(header)) {
         sub.headers.set(header, *value);
       }
     }
     if (options_.propagate_priority_header) {
       if (const auto value =
-              request->headers.get(http::headers::kMeshPriority)) {
-        sub.headers.set(http::headers::kMeshPriority, *value);
+              request->headers.get(http::headers::Id::kMeshPriority)) {
+        sub.headers.set(http::headers::Id::kMeshPriority, *value);
       }
     }
     ++sub_sent_;

@@ -9,7 +9,7 @@ bool ClassificationRule::matches(const http::HttpRequest& request) const {
     return false;
   }
   if (!host.empty() &&
-      request.headers.get_or(http::headers::kHost, "") != host) {
+      request.headers.get_or(http::headers::Id::kHost, "") != host) {
     return false;
   }
   if (!header_name.empty()) {

@@ -22,7 +22,7 @@ std::string_view priority_header_value(mesh::TrafficClass c) noexcept {
 
 std::optional<mesh::TrafficClass> request_priority(
     const http::HttpRequest& request) {
-  const auto value = request.headers.get(http::headers::kMeshPriority);
+  const auto value = request.headers.get(http::headers::Id::kMeshPriority);
   if (!value) return std::nullopt;
   return parse_priority(*value);
 }
@@ -30,9 +30,9 @@ std::optional<mesh::TrafficClass> request_priority(
 void set_request_priority(http::HttpRequest& request, mesh::TrafficClass c) {
   const std::string_view value = priority_header_value(c);
   if (value.empty()) {
-    request.headers.remove(http::headers::kMeshPriority);
+    request.headers.remove(http::headers::Id::kMeshPriority);
   } else {
-    request.headers.set(http::headers::kMeshPriority, value);
+    request.headers.set(http::headers::Id::kMeshPriority, value);
   }
 }
 

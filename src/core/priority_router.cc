@@ -24,7 +24,7 @@ mesh::FilterStatus PriorityRouterFilter::on_request(
   const std::string target =
       !ctx.upstream_cluster.empty()
           ? ctx.upstream_cluster
-          : ctx.request.headers.get_or(http::headers::kHost, "");
+          : ctx.request.headers.get_or(http::headers::Id::kHost, "");
   if (!applies_to(target)) return mesh::FilterStatus::kContinue;
 
   switch (ctx.traffic_class) {

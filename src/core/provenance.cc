@@ -75,7 +75,7 @@ void ProvenanceFilter::on_response(mesh::RequestContext& ctx,
   // Paper §4.3 step 2: copy the priority onto the associated response.
   const std::string_view value = priority_header_value(ctx.traffic_class);
   if (!value.empty()) {
-    response.headers.set(http::headers::kMeshPriority, value);
+    response.headers.set(http::headers::Id::kMeshPriority, value);
   }
 }
 

@@ -12,15 +12,14 @@ constexpr std::string_view kHttpVersion = "HTTP/1.1";
 
 void append_headers(std::string& out, const HeaderMap& headers,
                     std::size_t body_size) {
-  bool has_content_length = false;
-  for (const auto& [name, value] : headers.entries()) {
-    if (util::iequals(name, headers::kContentLength)) {
-      has_content_length = true;
+  const auto& entries = headers.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (headers.id_at(i) == headers::Id::kContentLength) {
       continue;  // always emit an accurate one below
     }
+    const auto& [name, value] = entries[i];
     out.append(name).append(": ").append(value).append(kCrlf);
   }
-  (void)has_content_length;
   out.append(headers::kContentLength)
       .append(": ")
       .append(std::to_string(body_size))
@@ -159,7 +158,7 @@ void HttpParser::parse_head() {
   }
 
   body_expected_ = 0;
-  if (const auto cl = headers.get(headers::kContentLength)) {
+  if (const auto cl = headers.get(headers::Id::kContentLength)) {
     const auto parsed = util::parse_u64(util::trim(*cl));
     if (!parsed) {
       fail(ParserError::kBadContentLength);

@@ -1,23 +1,109 @@
 #include "http/header_map.h"
 
-#include <algorithm>
-
 #include "util/strings.h"
 
 namespace meshnet::http {
+
+namespace headers {
+
+Id intern(std::string_view name) noexcept {
+  // Dispatch on length first: the well-known set has at most two names
+  // per length, so a lookup is one or two case-insensitive compares.
+  switch (name.size()) {
+    case 4:
+      if (util::iequals(name, kHost)) return Id::kHost;
+      break;
+    case 11:
+      if (util::iequals(name, kSpanId)) return Id::kSpanId;
+      break;
+    case 12:
+      if (util::iequals(name, kRequestId)) return Id::kRequestId;
+      if (util::iequals(name, kTraceId)) return Id::kTraceId;
+      break;
+    case 13:
+      if (util::iequals(name, kMeshSource)) return Id::kMeshSource;
+      break;
+    case 14:
+      if (util::iequals(name, kContentLength)) return Id::kContentLength;
+      break;
+    case 15:
+      if (util::iequals(name, kMeshPriority)) return Id::kMeshPriority;
+      break;
+    case 17:
+      if (util::iequals(name, kParentSpanId)) return Id::kParentSpanId;
+      break;
+    case 21:
+      if (util::iequals(name, kRetryAttempt)) return Id::kRetryAttempt;
+      break;
+    default:
+      break;
+  }
+  return Id::kUnknown;
+}
+
+std::string_view name_of(Id id) noexcept {
+  switch (id) {
+    case Id::kContentLength:
+      return kContentLength;
+    case Id::kHost:
+      return kHost;
+    case Id::kRequestId:
+      return kRequestId;
+    case Id::kMeshPriority:
+      return kMeshPriority;
+    case Id::kTraceId:
+      return kTraceId;
+    case Id::kSpanId:
+      return kSpanId;
+    case Id::kParentSpanId:
+      return kParentSpanId;
+    case Id::kRetryAttempt:
+      return kRetryAttempt;
+    case Id::kUnknown:
+      break;
+    case Id::kMeshSource:
+      return kMeshSource;
+  }
+  return "";
+}
+
+}  // namespace headers
 
 void HeaderMap::set(std::string_view name, std::string_view value) {
   remove(name);
   add(name, value);
 }
 
+void HeaderMap::set(headers::Id id, std::string_view value) {
+  remove(id);
+  entries_.emplace_back(std::string(headers::name_of(id)),
+                        std::string(value));
+  ids_.push_back(id);
+}
+
 void HeaderMap::add(std::string_view name, std::string_view value) {
-  entries_.emplace_back(util::to_lower(name), std::string(value));
+  const headers::Id id = headers::intern(name);
+  // Well-known names reuse the canonical lowercase constant; only
+  // unknown names pay for case-folding.
+  entries_.emplace_back(id != headers::Id::kUnknown
+                            ? std::string(headers::name_of(id))
+                            : util::to_lower(name),
+                        std::string(value));
+  ids_.push_back(id);
 }
 
 std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  const headers::Id id = headers::intern(name);
+  if (id != headers::Id::kUnknown) return get(id);
   for (const auto& [key, value] : entries_) {
     if (util::iequals(key, name)) return std::string_view(value);
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string_view> HeaderMap::get(headers::Id id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == id) return std::string_view(entries_[i].second);
   }
   return std::nullopt;
 }
@@ -28,18 +114,27 @@ std::string HeaderMap::get_or(std::string_view name,
   return std::string(v ? *v : fallback);
 }
 
+std::string HeaderMap::get_or(headers::Id id,
+                              std::string_view fallback) const {
+  const auto v = get(id);
+  return std::string(v ? *v : fallback);
+}
+
 bool HeaderMap::has(std::string_view name) const {
   return get(name).has_value();
 }
 
+bool HeaderMap::has(headers::Id id) const { return get(id).has_value(); }
+
 std::size_t HeaderMap::remove(std::string_view name) {
-  const auto before = entries_.size();
-  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
-                                [&](const auto& entry) {
-                                  return util::iequals(entry.first, name);
-                                }),
-                 entries_.end());
-  return before - entries_.size();
+  const headers::Id id = headers::intern(name);
+  if (id != headers::Id::kUnknown) return remove(id);
+  return erase_where(
+      [&](std::size_t i) { return util::iequals(entries_[i].first, name); });
+}
+
+std::size_t HeaderMap::remove(headers::Id id) {
+  return erase_where([&](std::size_t i) { return ids_[i] == id; });
 }
 
 }  // namespace meshnet::http

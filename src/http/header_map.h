@@ -2,7 +2,14 @@
 
 // Order-preserving, case-insensitive HTTP header collection, plus the
 // well-known header names the mesh and the cross-layer case study use.
+//
+// Well-known names are interned to a small integer Id at insertion, so
+// the hot paths — priority classification, provenance propagation,
+// tracing, content-length handling — look headers up by integer compare
+// with no per-lookup case-folding or string allocation. Unknown names
+// fall back to the case-insensitive linear scan.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -28,25 +35,54 @@ inline constexpr std::string_view kSpanId = "x-b3-spanid";
 inline constexpr std::string_view kParentSpanId = "x-b3-parentspanid";
 /// Number of upstream retry attempts already made (Envoy convention).
 inline constexpr std::string_view kRetryAttempt = "x-envoy-attempt-count";
+/// Peer service identity stamped by the provenance filter.
+inline constexpr std::string_view kMeshSource = "x-mesh-source";
+
+/// Interned ids for the well-known names above. kUnknown means "not a
+/// well-known header"; such entries are matched by case-insensitive
+/// string comparison instead.
+enum class Id : std::uint8_t {
+  kUnknown = 0,
+  kContentLength,
+  kHost,
+  kRequestId,
+  kMeshPriority,
+  kTraceId,
+  kSpanId,
+  kParentSpanId,
+  kRetryAttempt,
+  kMeshSource,
+};
+
+/// Id for `name` (case-insensitive), or Id::kUnknown.
+Id intern(std::string_view name) noexcept;
+
+/// Canonical lowercase name for a well-known id. Must not be kUnknown.
+std::string_view name_of(Id id) noexcept;
 }  // namespace headers
 
 class HeaderMap {
  public:
   /// Last-write-wins set (replaces all existing values for the name).
   void set(std::string_view name, std::string_view value);
+  void set(headers::Id id, std::string_view value);
 
   /// Appends a possibly-duplicate header.
   void add(std::string_view name, std::string_view value);
 
   /// First value for the name, case-insensitively.
   std::optional<std::string_view> get(std::string_view name) const;
+  std::optional<std::string_view> get(headers::Id id) const;
 
   std::string get_or(std::string_view name, std::string_view fallback) const;
+  std::string get_or(headers::Id id, std::string_view fallback) const;
 
   bool has(std::string_view name) const;
+  bool has(headers::Id id) const;
 
   /// Removes all values for the name; returns how many were removed.
   std::size_t remove(std::string_view name);
+  std::size_t remove(headers::Id id);
 
   std::size_t size() const noexcept { return entries_.size(); }
   bool empty() const noexcept { return entries_.empty(); }
@@ -56,10 +92,36 @@ class HeaderMap {
     return entries_;
   }
 
-  friend bool operator==(const HeaderMap&, const HeaderMap&) = default;
+  /// Interned id of the i-th entry (kUnknown for non-well-known names).
+  headers::Id id_at(std::size_t i) const noexcept { return ids_[i]; }
+
+  friend bool operator==(const HeaderMap& a, const HeaderMap& b) {
+    // ids_ is derived from the names, so comparing entries_ suffices.
+    return a.entries_ == b.entries_;
+  }
 
  private:
+  /// Drops every entry whose index satisfies `pred`, keeping entries_
+  /// and ids_ in lockstep. Returns how many were removed.
+  template <typename Pred>
+  std::size_t erase_where(Pred pred) {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (pred(i)) continue;
+      if (out != i) {
+        entries_[out] = std::move(entries_[i]);
+        ids_[out] = ids_[i];
+      }
+      ++out;
+    }
+    const std::size_t removed = entries_.size() - out;
+    entries_.resize(out);
+    ids_.resize(out);
+    return removed;
+  }
+
   std::vector<std::pair<std::string, std::string>> entries_;
+  std::vector<headers::Id> ids_;  ///< parallel to entries_
 };
 
 }  // namespace meshnet::http

@@ -19,10 +19,10 @@ struct HttpRequest {
 
   /// Convenience accessors for the headers the mesh manipulates.
   std::string request_id() const {
-    return headers.get_or(headers::kRequestId, "");
+    return headers.get_or(headers::Id::kRequestId, "");
   }
   void set_request_id(std::string_view id) {
-    headers.set(headers::kRequestId, id);
+    headers.set(headers::Id::kRequestId, id);
   }
 };
 

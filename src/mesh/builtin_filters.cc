@@ -36,7 +36,7 @@ void TracingFilter::on_response(RequestContext& ctx,
 
 FilterStatus SourceIdentityFilter::on_request(RequestContext& ctx) {
   if (ctx.direction == FilterDirection::kOutbound) {
-    ctx.request.headers.set("x-mesh-source", service_);
+    ctx.request.headers.set(http::headers::Id::kMeshSource, service_);
   }
   return FilterStatus::kContinue;
 }
@@ -48,7 +48,7 @@ FilterStatus AuthorizationFilter::on_request(RequestContext& ctx) {
   const auto it = policies_->find(service_);
   if (it == policies_->end()) return FilterStatus::kContinue;  // allow all
   const std::string source =
-      ctx.request.headers.get_or("x-mesh-source", "");
+      ctx.request.headers.get_or(http::headers::Id::kMeshSource, "");
   const auto& allowed = it->second;
   if (std::find(allowed.begin(), allowed.end(), source) != allowed.end()) {
     return FilterStatus::kContinue;

@@ -122,7 +122,7 @@ void HealthChecker::run_probe(const Key& key) {
   http::HttpRequest probe;
   probe.method = "GET";
   probe.path = target.config.path;
-  probe.headers.set(http::headers::kHost, target.cluster);
+  probe.headers.set(http::headers::Id::kHost, target.cluster);
   probe.headers.set("x-mesh-health-probe", "1");
 
   target.inflight = target.pool->request(

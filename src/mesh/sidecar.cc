@@ -218,7 +218,7 @@ void Sidecar::process_request_now(std::uint64_t session_id,
   ctx->direction = direction;
   ctx->start_time = sim_.now();
   ctx->source_service =
-      ctx->request.headers.get_or("x-mesh-source", "");
+      ctx->request.headers.get_or(http::headers::Id::kMeshSource, "");
 
   // Health probes are answered by the sidecar itself, before the filter
   // chain (authorization must not 403 them) and without touching the app:
@@ -436,7 +436,7 @@ transport::ConnectionOptions Sidecar::connection_options_for(
 
 void Sidecar::route_and_forward(std::uint64_t session_id, Ctx ctx) {
   const std::string host =
-      ctx->request.headers.get_or(http::headers::kHost, "");
+      ctx->request.headers.get_or(http::headers::Id::kHost, "");
   if (!ctx->upstream_cluster.empty()) {
     // A filter already routed (e.g. traffic shifting); keep it.
   } else if (const ClusterSpec* spec = resolve_cluster(host)) {
@@ -539,7 +539,7 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
     return;
   }
 
-  ctx->request.headers.set(http::headers::kRetryAttempt,
+  ctx->request.headers.set(http::headers::Id::kRetryAttempt,
                            std::to_string(ctx->attempt + 1));
   // The wire hop goes to the remote pod's *inbound sidecar listener*; the
   // Host header tells the remote side which service was meant (the moral

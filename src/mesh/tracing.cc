@@ -7,17 +7,17 @@ namespace meshnet::mesh {
 
 TraceContext TraceContext::extract(const http::HeaderMap& headers) {
   TraceContext ctx;
-  ctx.trace_id = headers.get_or(http::headers::kTraceId, "");
-  ctx.span_id = headers.get_or(http::headers::kSpanId, "");
+  ctx.trace_id = headers.get_or(http::headers::Id::kTraceId, "");
+  ctx.span_id = headers.get_or(http::headers::Id::kSpanId, "");
   return ctx;
 }
 
 void TraceContext::inject(http::HeaderMap& headers,
                           const std::string& parent_span_id) const {
-  headers.set(http::headers::kTraceId, trace_id);
-  headers.set(http::headers::kSpanId, span_id);
+  headers.set(http::headers::Id::kTraceId, trace_id);
+  headers.set(http::headers::Id::kSpanId, span_id);
   if (!parent_span_id.empty()) {
-    headers.set(http::headers::kParentSpanId, parent_span_id);
+    headers.set(http::headers::Id::kParentSpanId, parent_span_id);
   }
 }
 

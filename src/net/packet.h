@@ -6,10 +6,9 @@
 // "physical" network (design §4.2 optimization d).
 
 #include <cstdint>
-#include <memory>
-#include <string>
 
 #include "net/address.h"
+#include "net/payload.h"
 #include "sim/time.h"
 
 namespace meshnet::net {
@@ -42,7 +41,7 @@ struct Packet {
   /// TCP MSS option: advertised on SYN so the accepting side segments its
   /// sends to match the initiator (0 = absent).
   std::uint32_t mss_option = 0;
-  std::shared_ptr<const std::string> payload;  ///< May be null (pure ACK).
+  Payload payload;  ///< Pooled slice; empty for pure ACKs.
 
   /// Receiver-side echo of the sender's one-way queueing signal, used by
   /// the LEDBAT-style scavenger controller. Carries the remote's observed
@@ -52,7 +51,7 @@ struct Packet {
   sim::Time sent_at = 0;  ///< Stamped by the transport for RTT samples.
 
   std::uint32_t payload_size() const noexcept {
-    return payload ? static_cast<std::uint32_t>(payload->size()) : 0;
+    return static_cast<std::uint32_t>(payload.size());
   }
   std::uint32_t size_bytes() const noexcept {
     return header_bytes + payload_size();

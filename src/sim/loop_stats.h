@@ -1,0 +1,51 @@
+#pragma once
+
+// Lightweight event-loop profiler. The simulator updates these counters
+// inline (a handful of integer ops per event, no allocation, no clock
+// reads), so they are deterministic: two identical runs produce identical
+// LoopStats. Wall-clock throughput (events/sec) is derived by the bench
+// harness from `executed` and host wall time, and is reported under a
+// "wall_" name so baselines never compare it.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace meshnet::sim {
+
+struct LoopStats {
+  std::uint64_t scheduled = 0;        ///< schedule_at/schedule_after calls
+  std::uint64_t executed = 0;         ///< events fired
+  std::uint64_t cancelled = 0;        ///< successful cancel() calls
+  std::uint64_t heap_pushes = 0;      ///< far timers sent to the 4-ary heap
+  std::uint64_t wheel_pushes = 0;     ///< short timers sent to the wheel
+  std::uint64_t due_merges = 0;       ///< inserts into the active due run
+  std::uint64_t task_heap_allocs = 0; ///< InlineTask captures > inline buffer
+  std::uint64_t heap_compactions = 0; ///< tombstone purges of the heap
+  std::uint64_t wheel_compactions = 0;///< tombstone purges of the wheel
+  std::uint64_t max_queue_depth = 0;  ///< peak live pending events
+
+  /// Queue-depth histogram: bucket i counts events that fired while the
+  /// number of live pending events was in [2^i, 2^(i+1)); bucket 0 also
+  /// holds depth 0.
+  static constexpr std::size_t kDepthBuckets = 24;
+  std::array<std::uint64_t, kDepthBuckets> depth_histogram{};
+
+  void record_depth(std::size_t depth) noexcept {
+    if (depth > max_queue_depth) max_queue_depth = depth;
+    std::size_t bucket = 0;
+    while ((std::size_t{1} << (bucket + 1)) <= depth &&
+           bucket + 1 < kDepthBuckets) {
+      ++bucket;
+    }
+    ++depth_histogram[bucket];
+  }
+
+  /// Host-throughput helper for bench reports (NOT deterministic).
+  double events_per_second(double wall_seconds) const noexcept {
+    return wall_seconds > 0.0 ? static_cast<double>(executed) / wall_seconds
+                              : 0.0;
+  }
+};
+
+}  // namespace meshnet::sim

@@ -49,7 +49,13 @@ void compare_numeric_members(const util::Json& baseline_obj,
                              const CompareOptions& options,
                              CompareOutcome& outcome) {
   for (const auto& [key, baseline_value] : baseline_obj.members()) {
-    if (key == "wall_ms" || key == "threads") continue;
+    // Anything wall-clock-derived is machine-dependent by construction
+    // and must never gate: "wall_ms", "threads", and any "wall_*" metric
+    // (e.g. wall_events_per_sec from the engine profiler).
+    if (key == "wall_ms" || key == "threads" ||
+        key.compare(0, 5, "wall_") == 0) {
+      continue;
+    }
     const std::string member_path = path + "." + key;
     const util::Json* current_value = current_obj.find(key);
     if (!current_value) {
@@ -109,6 +115,13 @@ util::Json BenchReport::to_json() const {
   doc.set("config", std::move(config_obj));
   doc.set("threads", util::Json(threads));
   doc.set("wall_ms", util::Json(wall_ms));
+  if (!engine.empty()) {
+    util::Json engine_obj = util::Json::object();
+    for (const auto& [key, value] : engine) {
+      engine_obj.set(key, util::Json(value));
+    }
+    doc.set("engine", std::move(engine_obj));
+  }
 
   util::Json points_array = util::Json::array();
   for (const BenchPoint& point : points) {

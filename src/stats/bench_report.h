@@ -59,6 +59,10 @@ struct BenchReport {
   std::vector<std::pair<std::string, std::string>> config;
   int threads = 1;
   double wall_ms = 0.0;
+  /// Host-side engine profile (events/sec etc). Serialized under a
+  /// top-level "engine" object that the comparator never visits — these
+  /// numbers are machine-dependent and must not gate baselines.
+  std::vector<std::pair<std::string, double>> engine;
   std::vector<BenchPoint> points;
 
   util::Json to_json() const;
@@ -95,7 +99,8 @@ struct CompareOutcome {
 /// must exist in current; every numeric metric/counter/histogram field in
 /// the baseline must be present in current and within tolerance. Fields
 /// only in `current` are ignored (adding metrics does not break a
-/// baseline); "wall_ms" and "threads" are never compared.
+/// baseline); "wall_ms", "threads", any "wall_*"-named metric, and the
+/// top-level "engine" object are never compared.
 CompareOutcome compare_reports(const util::Json& baseline,
                                const util::Json& current,
                                const CompareOptions& options = {});

@@ -51,16 +51,16 @@ void Connection::send(std::string data) {
   }
   stats_.bytes_sent += data.size();
   host_.mutable_stats().bytes_sent += data.size();
-  // Segment immediately at MSS granularity; payloads are shared_ptrs so
-  // retransmits never copy.
+  // One pooled copy per send(); each MSS segment (and every retransmit)
+  // is a zero-copy slice of that block.
+  const net::Payload whole = net::Payload::copy_of(data);
   std::size_t offset = 0;
   while (offset < data.size()) {
     const std::size_t len =
         std::min<std::size_t>(options_.mss, data.size() - offset);
     Segment seg;
     seg.seq = next_seq_;
-    seg.payload =
-        std::make_shared<const std::string>(data.substr(offset, len));
+    seg.payload = whole.slice(offset, len);
     next_seq_ += len;
     unsent_bytes_ += len;
     unsent_.push_back(std::move(seg));
@@ -213,7 +213,7 @@ void Connection::handle_data(const net::Packet& packet) {
   }
   // In-order (possibly partially overlapping) delivery.
   const std::uint64_t skip = rcv_next_ - seq;
-  std::string_view view(*packet.payload);
+  std::string_view view = packet.payload.view();
   view.remove_prefix(static_cast<std::size_t>(skip));
   rcv_next_ += view.size();
   stats_.bytes_received += view.size();
@@ -224,9 +224,9 @@ void Connection::handle_data(const net::Packet& packet) {
   auto it = out_of_order_.begin();
   while (it != out_of_order_.end() && it->first <= rcv_next_) {
     const std::uint64_t oo_seq = it->first;
-    const auto& payload = it->second;
-    if (oo_seq + payload->size() > rcv_next_) {
-      std::string_view oo_view(*payload);
+    const net::Payload& payload = it->second;
+    if (oo_seq + payload.size() > rcv_next_) {
+      std::string_view oo_view = payload.view();
       oo_view.remove_prefix(static_cast<std::size_t>(rcv_next_ - oo_seq));
       rcv_next_ += oo_view.size();
       stats_.bytes_received += oo_view.size();

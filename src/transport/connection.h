@@ -125,11 +125,11 @@ class Connection {
  private:
   struct Segment {
     std::uint64_t seq = 0;
-    std::shared_ptr<const std::string> payload;
+    net::Payload payload;  ///< zero-copy slice of the send() block
     sim::Time sent_at = 0;
     bool retransmitted = false;
     std::uint32_t length() const noexcept {
-      return payload ? static_cast<std::uint32_t>(payload->size()) : 0;
+      return static_cast<std::uint32_t>(payload.size());
     }
   };
 
@@ -178,7 +178,7 @@ class Connection {
 
   // Receiver state.
   std::uint64_t rcv_next_ = 0;
-  std::map<std::uint64_t, std::shared_ptr<const std::string>> out_of_order_;
+  std::map<std::uint64_t, net::Payload> out_of_order_;
   bool fin_received_ = false;
   std::uint64_t peer_fin_seq_ = 0;
 

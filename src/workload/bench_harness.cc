@@ -37,8 +37,24 @@ SweepOptions sweep_options(const HarnessOptions& options) {
   return sweep;
 }
 
-int finish_harness(const stats::BenchReport& report,
+int finish_harness(const stats::BenchReport& input,
                    const HarnessOptions& options) {
+  stats::BenchReport report = input;
+  // Engine throughput profile: host wall-clock events/sec across the
+  // whole run. Lives under the top-level "engine" object and "wall_"
+  // names, which the comparator never visits (machine-dependent).
+  double total_events = 0.0;
+  for (const stats::BenchPoint& point : report.points) {
+    const auto it = point.counters.find("events");
+    if (it != point.counters.end()) {
+      total_events += static_cast<double>(it->second);
+    }
+  }
+  if (total_events > 0.0 && report.wall_ms > 0.0) {
+    report.engine.emplace_back("wall_events_total", total_events);
+    report.engine.emplace_back("wall_events_per_sec",
+                               total_events / (report.wall_ms / 1000.0));
+  }
   if (!options.json_out.empty()) {
     const std::string error = report.write_file(options.json_out);
     if (!error.empty()) {
@@ -91,6 +107,17 @@ PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result) {
   metrics.scalars["bottleneck_utilization"] = result.bottleneck_utilization;
   metrics.counters["bottleneck_drops"] = result.bottleneck_drops;
   metrics.counters["events"] = result.events_executed;
+  // Scheduler profile. Deterministic (pure functions of the config, like
+  // every other counter here), so they are safe in compared baselines and
+  // double as determinism witnesses for the event-loop internals.
+  const sim::LoopStats& loop = result.loop_stats;
+  metrics.counters["engine_scheduled"] = loop.scheduled;
+  metrics.counters["engine_cancelled"] = loop.cancelled;
+  metrics.counters["engine_wheel_pushes"] = loop.wheel_pushes;
+  metrics.counters["engine_heap_pushes"] = loop.heap_pushes;
+  metrics.counters["engine_due_merges"] = loop.due_merges;
+  metrics.counters["engine_task_heap_allocs"] = loop.task_heap_allocs;
+  metrics.counters["engine_max_queue_depth"] = loop.max_queue_depth;
   metrics.histograms["ls_latency_ns"] = result.ls_latency;
   metrics.histograms["li_latency_ns"] = result.li_latency;
   return metrics;

@@ -186,6 +186,7 @@ ChaosExperimentResult run_chaos_elibrary_experiment(
   result.fault_log = chaos.log();
   result.mesh_events = telemetry.events();
   result.events_executed = sim.events_executed();
+  result.loop_stats = sim.loop_stats();
   return result;
 }
 

@@ -97,6 +97,8 @@ struct ChaosExperimentResult {
   std::vector<faults::FaultLogEntry> fault_log;
   std::vector<mesh::MeshEvent> mesh_events;
   std::uint64_t events_executed = 0;
+  /// Event-loop profile for the run (deterministic; see sim/loop_stats.h).
+  sim::LoopStats loop_stats;
 };
 
 ChaosExperimentResult run_chaos_elibrary_experiment(

@@ -121,6 +121,7 @@ ElibraryExperimentResult run_elibrary_experiment(
     result.low_band_bytes = wp->band_dequeued_bytes(1);
   }
   result.events_executed = sim.events_executed();
+  result.loop_stats = sim.loop_stats();
   result.spans_recorded = app.control_plane().tracer().span_count();
   return result;
 }

@@ -12,6 +12,7 @@
 
 #include "app/elibrary.h"
 #include "core/cross_layer.h"
+#include "sim/loop_stats.h"
 #include "stats/histogram.h"
 #include "workload/generator.h"
 
@@ -70,6 +71,8 @@ struct ElibraryExperimentResult {
   std::uint64_t low_band_bytes = 0;
   std::uint64_t events_executed = 0;
   std::uint64_t spans_recorded = 0;
+  /// Event-loop profile for the run (deterministic; see sim/loop_stats.h).
+  sim::LoopStats loop_stats;
 };
 
 ElibraryExperimentResult run_elibrary_experiment(

@@ -96,7 +96,7 @@ std::function<http::HttpRequest(std::uint64_t)> simple_get_factory(
     http::HttpRequest request;
     request.method = "GET";
     request.path = path_prefix + "/" + std::to_string(i % modulo);
-    request.headers.set(http::headers::kHost, host);
+    request.headers.set(http::headers::Id::kHost, host);
     return request;
   };
 }

@@ -70,6 +70,74 @@ TEST(HeaderMap, PreservesInsertionOrder) {
   EXPECT_EQ(map.entries()[2].first, "b");
 }
 
+// ---- Interned well-known names ----------------------------------------
+
+TEST(HeaderIntern, WellKnownNamesRoundTrip) {
+  using headers::Id;
+  const std::pair<std::string_view, Id> cases[] = {
+      {headers::kContentLength, Id::kContentLength},
+      {headers::kHost, Id::kHost},
+      {headers::kRequestId, Id::kRequestId},
+      {headers::kMeshPriority, Id::kMeshPriority},
+      {headers::kTraceId, Id::kTraceId},
+      {headers::kSpanId, Id::kSpanId},
+      {headers::kParentSpanId, Id::kParentSpanId},
+      {headers::kRetryAttempt, Id::kRetryAttempt},
+      {headers::kMeshSource, Id::kMeshSource},
+  };
+  for (const auto& [name, id] : cases) {
+    EXPECT_EQ(headers::intern(name), id) << name;
+    EXPECT_EQ(headers::name_of(id), name);
+  }
+}
+
+TEST(HeaderIntern, CaseInsensitiveAndUnknown) {
+  EXPECT_EQ(headers::intern("Content-Length"), headers::Id::kContentLength);
+  EXPECT_EQ(headers::intern("X-MESH-PRIORITY"), headers::Id::kMeshPriority);
+  EXPECT_EQ(headers::intern("x-app"), headers::Id::kUnknown);
+  EXPECT_EQ(headers::intern(""), headers::Id::kUnknown);
+  // Same length as a well-known name but different bytes.
+  EXPECT_EQ(headers::intern("content-lengtX"), headers::Id::kUnknown);
+}
+
+TEST(HeaderIntern, IdAndStringAccessorsAgree) {
+  HeaderMap map;
+  map.set("X-Mesh-Priority", "high");   // string set, mixed case
+  map.set(headers::Id::kHost, "reviews");
+  map.add("x-app", "frontend");
+
+  EXPECT_EQ(map.get(headers::Id::kMeshPriority).value_or(""), "high");
+  EXPECT_EQ(map.get("x-mesh-priority").value_or(""), "high");
+  EXPECT_EQ(map.get(headers::Id::kHost).value_or(""), "reviews");
+  EXPECT_EQ(map.get("Host").value_or(""), "reviews");
+  EXPECT_TRUE(map.has(headers::Id::kMeshPriority));
+  EXPECT_FALSE(map.has(headers::Id::kRetryAttempt));
+
+  // id_at mirrors entries() order; unknown names intern to kUnknown.
+  ASSERT_EQ(map.size(), 3u);
+  EXPECT_EQ(map.id_at(0), headers::Id::kMeshPriority);
+  EXPECT_EQ(map.id_at(1), headers::Id::kHost);
+  EXPECT_EQ(map.id_at(2), headers::Id::kUnknown);
+
+  // Id-keyed set overwrites the string-keyed entry and vice versa.
+  map.set(headers::Id::kMeshPriority, "low");
+  EXPECT_EQ(map.get("x-mesh-priority").value_or(""), "low");
+  map.set("host", "ratings");
+  EXPECT_EQ(map.get(headers::Id::kHost).value_or(""), "ratings");
+
+  EXPECT_EQ(map.remove(headers::Id::kHost), 1u);
+  EXPECT_FALSE(map.has("host"));
+}
+
+TEST(HeaderIntern, SerializedNamesAreCanonicalLowercase) {
+  HttpRequest request;
+  request.headers.set("X-Mesh-Priority", "high");
+  request.headers.set(headers::Id::kHost, "reviews");
+  const std::string wire = serialize_request(request);
+  EXPECT_NE(wire.find("x-mesh-priority: high"), std::string::npos);
+  EXPECT_NE(wire.find("host: reviews"), std::string::npos);
+}
+
 TEST(Message, RequestIdAccessors) {
   HttpRequest req;
   EXPECT_EQ(req.request_id(), "");

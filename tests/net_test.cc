@@ -21,7 +21,7 @@ Packet make_packet(std::uint32_t payload_bytes, Dscp dscp = Dscp::kDefault,
   p.flow = FlowKey{make_ip(10, 0, 0, 1), 1000, dst, 2000};
   p.dscp = dscp;
   if (payload_bytes > 0) {
-    p.payload = std::make_shared<const std::string>(payload_bytes, 'x');
+    p.payload = Payload::filled(payload_bytes, 'x');
   }
   return p;
 }
@@ -60,6 +60,67 @@ TEST(Address, FlowKeyHashDiffers) {
   const FlowKey b{1, 2, 3, 5};
   EXPECT_NE(hash(a), hash(b));
   EXPECT_EQ(hash(a), hash(FlowKey{1, 2, 3, 4}));
+}
+
+// ---- Pooled payload buffers -------------------------------------------
+
+TEST(Payload, CopySliceAndViews) {
+  const std::string data = "0123456789abcdef";
+  Payload whole = Payload::copy_of(data);
+  EXPECT_EQ(whole.view(), data);
+  EXPECT_EQ(whole.size(), data.size());
+  EXPECT_FALSE(whole.empty());
+
+  Payload mid = whole.slice(4, 6);
+  EXPECT_EQ(mid.view(), "456789");
+  // Slices share the block: same underlying bytes.
+  EXPECT_EQ(mid.data(), whole.data() + 4);
+
+  // The slice keeps the block alive after the parent dies.
+  whole.reset();
+  EXPECT_TRUE(whole.empty());
+  EXPECT_EQ(mid.view(), "456789");
+
+  Payload copy = mid;          // copy shares
+  Payload moved = std::move(mid);
+  EXPECT_EQ(copy.view(), "456789");
+  EXPECT_EQ(moved.view(), "456789");
+  EXPECT_TRUE(mid.empty());  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(Payload, EmptyAndFilled) {
+  Payload empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.view(), "");
+  EXPECT_TRUE(Payload::copy_of("").empty());
+
+  Payload filled = Payload::filled(1000, 'x');
+  EXPECT_EQ(filled.size(), 1000u);
+  EXPECT_EQ(filled.view().front(), 'x');
+  EXPECT_EQ(filled.view().back(), 'x');
+}
+
+TEST(Payload, PoolReusesBlocks) {
+  payload_pool_trim();
+  const PayloadPoolStats before = payload_pool_stats();
+  { Payload p = Payload::filled(1400, 'x'); }
+  { Payload p = Payload::filled(1400, 'y'); }  // same size class: reuse
+  const PayloadPoolStats after = payload_pool_stats();
+  EXPECT_EQ(after.pool_misses - before.pool_misses, 1u);
+  EXPECT_EQ(after.pool_hits - before.pool_hits, 1u);
+  EXPECT_EQ(after.blocks_cached, 1u);
+  payload_pool_trim();
+  EXPECT_EQ(payload_pool_stats().blocks_cached, 0u);
+  EXPECT_EQ(payload_pool_stats().bytes_cached, 0u);
+}
+
+TEST(Payload, OversizedBlocksBypassThePool) {
+  payload_pool_trim();
+  const PayloadPoolStats before = payload_pool_stats();
+  { Payload p = Payload::filled(256 * 1024, 'z'); }
+  const PayloadPoolStats after = payload_pool_stats();
+  EXPECT_EQ(after.unpooled - before.unpooled, 1u);
+  EXPECT_EQ(after.blocks_cached, 0u);  // not cached on release
 }
 
 TEST(Packet, SizeAccounting) {

@@ -18,7 +18,7 @@ Packet packet_of(std::uint32_t bytes, Dscp dscp) {
   Packet p;
   p.flow = FlowKey{1, 1, 2, 2};
   p.dscp = dscp;
-  p.payload = std::make_shared<const std::string>(bytes, 'x');
+  p.payload = Payload::filled(bytes, 'x');
   return p;
 }
 

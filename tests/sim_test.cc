@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -276,6 +278,134 @@ TEST(Simulator, EndToEndDeterminism) {
     return trace;
   };
   EXPECT_EQ(run(), run());
+}
+
+// ---- Hot-path internals: wheel geometry, slot reuse, compaction --------
+
+// Events exactly at wheel level boundaries (64 ticks, 64*64 ticks) and
+// beyond the wheel must still fire in time order with same-time FIFO.
+TEST(Simulator, WheelLevelBoundariesPreserveOrder) {
+  constexpr Duration kTick = 8192;  // 2^13 ns level-0 tick
+  Simulator sim;
+  std::vector<int> order;
+  const Duration delays[] = {
+      kTick * 64 - 1,       // last level-0 tick
+      kTick * 64,           // first level-1 bucket unit
+      kTick * 64 + 1,       // same tick as above, later seq
+      kTick * 64 * 64 - 1,  // last level-1 unit
+      kTick * 64 * 64,      // first level-2 unit
+      kTick * 64 * 64 * 64,  // beyond the wheel: heap
+      kTick * 64 * 64 * 64 - 1,  // last level-2 unit
+  };
+  // Schedule in scrambled order; the expected firing order is by delay.
+  const int scramble[] = {5, 2, 0, 6, 4, 1, 3};
+  for (const int i : scramble) {
+    sim.schedule_after(delays[i], [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 7u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 6, 5}));
+}
+
+// Same absolute time, scheduled from different structures (wheel via a
+// short delay, then merged while the tick drains): FIFO by seq.
+TEST(Simulator, SameTimestampFifoAcrossWheelAndReschedule) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_after(1000, [&] {
+    order.push_back(0);
+    // now == 1000; these land at the same time as each other and as the
+    // event below that was scheduled earlier.
+    sim.schedule_after(0, [&] { order.push_back(2); });
+    sim.schedule_after(0, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(1000, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// Cancelling most of a large far-future batch triggers lazy compaction
+// (visible in loop_stats) and pending_events stays truthful.
+TEST(Simulator, CancelledFarTimersAreCompacted) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    ids.push_back(sim.schedule_after(seconds(100) + i, [] {}));
+  }
+  EXPECT_EQ(sim.pending_events(), 2000u);
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+  }
+  EXPECT_EQ(sim.pending_events(), 1000u);
+  for (std::size_t i = 1; i < ids.size(); i += 2) {
+    EXPECT_TRUE(sim.cancel(ids[i]));
+  }
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_GE(sim.loop_stats().heap_compactions, 1u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 0u);
+}
+
+TEST(Simulator, LoopStatsCountersAreConsistent) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(sim.schedule_after(1000 + i, [] {}));  // wheel
+  }
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(sim.schedule_after(seconds(10) + i, [] {}));  // heap
+  }
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(i)]));
+  sim.run();
+  const LoopStats& stats = sim.loop_stats();
+  EXPECT_EQ(stats.scheduled, 110u);
+  EXPECT_EQ(stats.cancelled, 20u);
+  EXPECT_EQ(stats.executed, 90u);
+  EXPECT_EQ(stats.executed + stats.cancelled, stats.scheduled);
+  EXPECT_EQ(stats.wheel_pushes + stats.heap_pushes + stats.due_merges, 110u);
+  EXPECT_GE(stats.max_queue_depth, 110u);
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t bucket : stats.depth_histogram) {
+    histogram_total += bucket;
+  }
+  EXPECT_EQ(histogram_total, stats.executed);
+}
+
+// Small lambdas must use the inline buffer (no heap allocation); only
+// oversized captures fall back to the heap, and the profiler sees it.
+TEST(Simulator, InlineTasksAvoidHeapAllocation) {
+  Simulator sim;
+  int counter = 0;
+  sim.schedule_after(1, [&counter] { ++counter; });
+  EXPECT_EQ(sim.loop_stats().task_heap_allocs, 0u);
+  struct Big {
+    char bytes[128];
+  } big{};
+  sim.schedule_after(2, [&counter, big] { counter += big.bytes[0] ? 2 : 1; });
+  EXPECT_EQ(sim.loop_stats().task_heap_allocs, 1u);
+  sim.run();
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(InlineTask, InvokesAndReleasesCaptures) {
+  auto shared = std::make_shared<int>(7);
+  EXPECT_EQ(shared.use_count(), 1);
+  {
+    InlineTask task([shared] { (void)*shared; });
+    EXPECT_EQ(shared.use_count(), 2);
+    task();
+    EXPECT_EQ(shared.use_count(), 2);  // invoke does not destroy captures
+    task.reset();
+    EXPECT_EQ(shared.use_count(), 1);
+  }
+  // Move transfers ownership (inline relocate).
+  int runs = 0;
+  InlineTask a([&runs] { ++runs; });
+  InlineTask b = std::move(a);
+  b();
+  EXPECT_EQ(runs, 1);
+  EXPECT_FALSE(a);  // NOLINT(bugprone-use-after-move) moved-from is empty
+  EXPECT_TRUE(b);
 }
 
 }  // namespace
