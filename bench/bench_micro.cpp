@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "http/codec.h"
+#include "mesh/telemetry.h"
 #include "net/payload.h"
 #include "net/qdisc.h"
+#include "obs/metric_registry.h"
 #include "sim/simulator.h"
 #include "stats/histogram.h"
 #include "workload/bench_harness.h"
@@ -177,6 +179,38 @@ static void BM_PayloadSendSlice(benchmark::State& state) {
       static_cast<double>(rounds > 0 ? rounds : 1));
 }
 BENCHMARK(BM_PayloadSendSlice);
+
+// One request through the unified telemetry pipeline: edge + cluster +
+// total counters and a per-class latency histogram. After the first
+// request interns the series, recording must be allocation-free — the
+// label-handling refactor is gated on allocs_per_record staying at 0.
+static void BM_TelemetryRecordRequest(benchmark::State& state) {
+  obs::MetricRegistry registry;
+  mesh::TelemetrySink sink(&registry);
+  mesh::RequestSample sample;
+  sample.source = "frontend";
+  sample.upstream = "reviews";
+  sample.status = 200;
+  sample.latency = 1'500'000;
+  sample.retries = 0;
+  sample.priority = mesh::TrafficClass::kLatencySensitive;
+  sink.record_request(sample);  // warm: intern every cell up front
+  std::uint64_t allocs = 0;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    sink.record_request(sample);
+    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    ++records;
+  }
+  benchmark::DoNotOptimize(sink.total_requests());
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  state.counters["allocs_per_record"] = benchmark::Counter(
+      static_cast<double>(allocs) /
+      static_cast<double>(records > 0 ? records : 1));
+}
+BENCHMARK(BM_TelemetryRecordRequest);
 
 static void BM_HistogramRecord(benchmark::State& state) {
   stats::LogHistogram histogram(7);

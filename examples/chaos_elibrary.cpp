@@ -48,6 +48,7 @@ workload::PointMetrics chaos_point_metrics(
   metrics.counters["fault_log_entries"] = r.fault_log.size();
   metrics.counters["mesh_events"] = r.mesh_events.size();
   metrics.counters["events"] = r.events_executed;
+  metrics.snapshot = r.metrics;
   return metrics;
 }
 

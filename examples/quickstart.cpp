@@ -107,7 +107,8 @@ int main(int argc, char** argv) {
 
   std::printf("\ntelemetry edges:\n");
   for (const auto& [src, dst] : control_plane.telemetry().edges()) {
-    const mesh::EdgeMetrics* edge = control_plane.telemetry().edge(src, dst);
+    const auto edge = control_plane.telemetry().edge(src, dst);
+    if (!edge) continue;
     std::printf("  %-10s -> %-10s requests=%llu failures=%llu p50=%.3f ms\n",
                 src.c_str(), dst.c_str(),
                 static_cast<unsigned long long>(edge->requests),

@@ -80,7 +80,8 @@ int main(int argc, char** argv) {
   std::printf("\nservice call graph (from sidecar telemetry):\n");
   const mesh::TelemetrySink& telemetry = app.control_plane().telemetry();
   for (const auto& [src, dst] : telemetry.edges()) {
-    const mesh::EdgeMetrics* edge = telemetry.edge(src, dst);
+    const auto edge = telemetry.edge(src, dst);
+    if (!edge) continue;
     std::printf("  %-10s -> %-10s  %4llu requests  p50 %7.3f ms  "
                 "p99 %7.3f ms  failures %llu\n",
                 src.c_str(), dst.c_str(),

@@ -20,8 +20,16 @@ bool ClassificationRule::matches(const http::HttpRequest& request) const {
   return true;
 }
 
-IngressClassifierFilter::IngressClassifierFilter(ClassifierConfig config)
-    : config_(std::move(config)) {}
+IngressClassifierFilter::IngressClassifierFilter(
+    ClassifierConfig config, obs::MetricRegistry* registry)
+    : config_(std::move(config)) {
+  if (registry != nullptr) {
+    high_counter_ = &registry->counter("ingress_classified_total",
+                                       {{"class", "high"}});
+    low_counter_ = &registry->counter("ingress_classified_total",
+                                      {{"class", "low"}});
+  }
+}
 
 mesh::FilterStatus IngressClassifierFilter::on_request(
     mesh::RequestContext& ctx) {
@@ -42,8 +50,10 @@ mesh::FilterStatus IngressClassifierFilter::on_request(
   set_request_priority(ctx.request, *assigned);
   if (*assigned == mesh::TrafficClass::kLatencySensitive) {
     ++high_;
+    if (high_counter_) high_counter_->inc();
   } else if (*assigned == mesh::TrafficClass::kScavenger) {
     ++low_;
+    if (low_counter_) low_counter_->inc();
   }
   return mesh::FilterStatus::kContinue;
 }

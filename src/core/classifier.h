@@ -15,6 +15,7 @@
 
 #include "core/priority.h"
 #include "mesh/filter.h"
+#include "obs/metric_registry.h"
 
 namespace meshnet::core {
 
@@ -38,7 +39,10 @@ struct ClassifierConfig {
 
 class IngressClassifierFilter final : public mesh::HttpFilter {
  public:
-  explicit IngressClassifierFilter(ClassifierConfig config);
+  /// With a registry, classification decisions also show up in the
+  /// unified snapshot as ingress_classified_total{class=...}.
+  explicit IngressClassifierFilter(ClassifierConfig config,
+                                   obs::MetricRegistry* registry = nullptr);
 
   std::string name() const override { return "ingress-classifier"; }
   mesh::FilterStatus on_request(mesh::RequestContext& ctx) override;
@@ -50,6 +54,8 @@ class IngressClassifierFilter final : public mesh::HttpFilter {
   ClassifierConfig config_;
   std::uint64_t high_ = 0;
   std::uint64_t low_ = 0;
+  obs::Counter* high_counter_ = nullptr;
+  obs::Counter* low_counter_ = nullptr;
 };
 
 }  // namespace meshnet::core

@@ -35,7 +35,8 @@ void CrossLayerController::install_filters() {
 
     if (config_.classification && sidecar->config().gateway_mode) {
       sidecar->outbound_filters().append(
-          std::make_shared<IngressClassifierFilter>(config_.classifier));
+          std::make_shared<IngressClassifierFilter>(
+              config_.classifier, &control_plane_.metrics()));
     }
 
     if (config_.provenance) {

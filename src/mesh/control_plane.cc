@@ -9,7 +9,10 @@ namespace meshnet::mesh {
 
 ControlPlane::ControlPlane(sim::Simulator& sim, cluster::Cluster& cluster,
                            MeshPolicies policies)
-    : sim_(sim), cluster_(cluster), policies_(std::move(policies)) {}
+    : sim_(sim), cluster_(cluster), policies_(std::move(policies)) {
+  telemetry_.access_log().set_sample_every(
+      policies_.access_log_sample_every);
+}
 
 Sidecar& ControlPlane::inject_sidecar(cluster::Pod& pod,
                                       SidecarInjectionOptions options) {
@@ -59,6 +62,8 @@ void ControlPlane::poll_registry() {
 
 void ControlPlane::push_config() {
   last_registry_version_ = cluster_.registry().version();
+  telemetry_.access_log().set_sample_every(
+      policies_.access_log_sample_every);
   for (const auto& sidecar : sidecars_) {
     sidecar->apply_config(compile_config(*sidecar));
   }

@@ -17,6 +17,7 @@
 #include "mesh/sidecar.h"
 #include "mesh/telemetry.h"
 #include "mesh/tracing.h"
+#include "obs/metric_registry.h"
 
 namespace meshnet::mesh {
 
@@ -52,6 +53,9 @@ struct MeshPolicies {
   /// Per-traversal proxy processing cost (see SidecarConfig).
   sim::Duration proxy_overhead_base = sim::microseconds(150);
   sim::Duration proxy_overhead_jitter = sim::microseconds(100);
+  /// Sidecar access logging: keep one structured record per N proxied
+  /// requests (0 = off). See obs::AccessLog.
+  std::uint64_t access_log_sample_every = 0;
   /// Propagated into every sidecar's config on push (see SidecarConfig).
   std::function<void(transport::Connection&, TrafficClass)>
       upstream_connection_hook;
@@ -86,6 +90,9 @@ class ControlPlane {
   Certificate issue_certificate(const std::string& service);
 
   MeshPolicies& policies() noexcept { return policies_; }
+  /// The unified observability registry every mesh surface records into.
+  obs::MetricRegistry& metrics() noexcept { return registry_; }
+  const obs::MetricRegistry& metrics() const noexcept { return registry_; }
   Tracer& tracer() noexcept { return tracer_; }
   TelemetrySink& telemetry() noexcept { return telemetry_; }
   cluster::Cluster& cluster() noexcept { return cluster_; }
@@ -102,8 +109,10 @@ class ControlPlane {
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
   MeshPolicies policies_;
-  Tracer tracer_;
-  TelemetrySink telemetry_;
+  /// Declared before the tracer/telemetry adapters that record into it.
+  obs::MetricRegistry registry_;
+  Tracer tracer_{&registry_};
+  TelemetrySink telemetry_{&registry_};
   std::vector<std::unique_ptr<Sidecar>> sidecars_;
   std::uint64_t last_registry_version_ = 0;
   std::uint64_t next_serial_ = 1;

@@ -71,7 +71,7 @@ void Sidecar::start() {
              bool healthy, sim::Time at) {
         if (telemetry_ == nullptr) return;
         telemetry_->record_event(
-            at, "health",
+            at, obs::EventKind::kHealth,
             config_.service_name + "->" + cluster + "/" + pod_name,
             healthy ? "readmitted" : "evicted");
       });
@@ -123,7 +123,7 @@ CircuitBreaker& Sidecar::breaker_for(const std::string& cluster_name,
     breaker.set_transition_hook(
         [this, key](CircuitState from, CircuitState to, sim::Time at) {
           telemetry_->record_event(
-              at, "breaker", config_.service_name + "->" + key,
+              at, obs::EventKind::kBreaker, config_.service_name + "->" + key,
               std::string(circuit_state_name(from)) + "->" +
                   std::string(circuit_state_name(to)));
         });
@@ -322,8 +322,9 @@ void Sidecar::respond_to_session(std::uint64_t session_id, const Ctx& /*ctx*/,
 
 void Sidecar::forward_to_app(std::uint64_t session_id, Ctx ctx) {
   if (!app_pool_) {
-    respond_to_session(session_id, ctx,
-                       make_local_response(503, "no local app"));
+    http::HttpResponse response = make_local_response(503, "no local app");
+    inbound_chain_.run_response(*ctx, response);
+    respond_to_session(session_id, ctx, std::move(response));
     return;
   }
   http::HttpRequest upstream_req = ctx->request;  // copy: retry-safe
@@ -337,6 +338,49 @@ void Sidecar::forward_to_app(std::uint64_t session_id, Ctx ctx) {
         inbound_chain_.run_response(*ctx, resp);
         respond_to_session(session_id, ctx, std::move(resp));
       });
+}
+
+void Sidecar::finish_outbound(std::uint64_t session_id, const Ctx& ctx,
+                              const std::string& cluster_name,
+                              const std::string& endpoint_pod,
+                              http::HttpResponse response) {
+  const sim::Duration latency = sim_.now() - ctx->start_time;
+  if (telemetry_ != nullptr) {
+    if (!cluster_name.empty()) {
+      RequestSample sample;
+      sample.source = config_.service_name;
+      sample.upstream = cluster_name;
+      sample.status = response.status;
+      sample.latency = latency;
+      sample.retries = ctx->attempt;
+      sample.priority = ctx->traffic_class;
+      telemetry_->record_request(sample);
+    }
+    obs::AccessLog& log = telemetry_->access_log();
+    if (log.enabled()) {
+      obs::AccessLogRecord record;
+      record.at = sim_.now();
+      record.source = config_.service_name;
+      record.route = ctx->request.path;
+      record.upstream_cluster = cluster_name;
+      record.upstream_endpoint = endpoint_pod;
+      record.priority = std::string(traffic_class_name(ctx->traffic_class));
+      record.status = response.status;
+      record.retries = ctx->attempt;
+      record.latency = latency;
+      const auto it = sessions_.find(session_id);
+      if (it != sessions_.end() && it->second->deadline > 0) {
+        record.deadline_slack = it->second->deadline - sim_.now();
+      }
+      log.record(std::move(record));
+    }
+  }
+  // Closing the outbound chain here — not at each call site — is what
+  // guarantees every request span gets an end time: 404s, vanished
+  // clusters, exhausted upstreams and armed-deadline abandonments all
+  // funnel through this path.
+  outbound_chain_.run_response(*ctx, response);
+  respond_to_session(session_id, ctx, std::move(response));
 }
 
 const ClusterSpec* Sidecar::resolve_cluster(const std::string& host) const {
@@ -442,8 +486,8 @@ void Sidecar::route_and_forward(std::uint64_t session_id, Ctx ctx) {
   } else if (const ClusterSpec* spec = resolve_cluster(host)) {
     ctx->upstream_cluster = spec->name;
   } else {
-    respond_to_session(session_id, ctx,
-                       make_local_response(404, "no route for host " + host));
+    finish_outbound(session_id, ctx, /*cluster_name=*/"", /*endpoint_pod=*/"",
+                    make_local_response(404, "no route for host " + host));
     return;
   }
   const auto it = sessions_.find(session_id);
@@ -483,15 +527,9 @@ void Sidecar::on_request_deadline(std::uint64_t session_id, Ctx ctx,
     return;
   }
   // Between attempts (retry backoff): nothing in flight to unwind.
-  http::HttpResponse response =
-      make_local_response(504, "request deadline exceeded");
-  if (telemetry_ != nullptr) {
-    telemetry_->record_request(config_.service_name, ctx->upstream_cluster,
-                               response.status, sim_.now() - ctx->start_time,
-                               ctx->attempt);
-  }
-  outbound_chain_.run_response(*ctx, response);
-  respond_to_session(session_id, ctx, std::move(response));
+  finish_outbound(session_id, ctx, ctx->upstream_cluster,
+                  s.upstream_endpoint,
+                  make_local_response(504, "request deadline exceeded"));
 }
 
 void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
@@ -501,16 +539,18 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
 
   const auto cluster_it = config_.clusters.find(ctx->upstream_cluster);
   if (cluster_it == config_.clusters.end()) {
-    respond_to_session(session_id, ctx,
-                       make_local_response(503, "cluster vanished"));
+    finish_outbound(session_id, ctx, ctx->upstream_cluster,
+                    /*endpoint_pod=*/"",
+                    make_local_response(503, "cluster vanished"));
     return;
   }
   const ClusterSpec& spec = cluster_it->second;
 
   if (sim_.now() >= session.deadline) {
     ++stats_.timeouts;
-    respond_to_session(session_id, ctx,
-                       make_local_response(504, "request deadline exceeded"));
+    finish_outbound(session_id, ctx, ctx->upstream_cluster,
+                    /*endpoint_pod=*/"",
+                    make_local_response(504, "request deadline exceeded"));
     return;
   }
 
@@ -533,8 +573,8 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
   }
   if (chosen == nullptr) {
     ++stats_.upstream_failures;
-    respond_to_session(
-        session_id, ctx,
+    finish_outbound(
+        session_id, ctx, spec.name, /*endpoint_pod=*/"",
         make_local_response(503, "no healthy upstream in " + spec.name));
     return;
   }
@@ -660,13 +700,8 @@ void Sidecar::on_upstream_result(std::uint64_t session_id, Ctx ctx,
                                      "upstream failed: " + error);
   if (!success) ++stats_.upstream_failures;
 
-  if (telemetry_ != nullptr) {
-    telemetry_->record_request(config_.service_name, cluster_name,
-                               final_response.status,
-                               sim_.now() - ctx->start_time, ctx->attempt);
-  }
-  outbound_chain_.run_response(*ctx, final_response);
-  respond_to_session(session_id, ctx, std::move(final_response));
+  finish_outbound(session_id, ctx, cluster_name, endpoint_pod,
+                  std::move(final_response));
 }
 
 }  // namespace meshnet::mesh

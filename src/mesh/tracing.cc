@@ -44,20 +44,13 @@ Span Tracer::start_span(const std::string& service,
 }
 
 void Tracer::finish_span(Span span, sim::Time now) {
-  if (retention_ == 0) return;
   span.end = now;
-  finished_.push_back(std::move(span));
-  if (finished_.size() > retention_) {
-    finished_.erase(finished_.begin(),
-                    finished_.begin() +
-                        static_cast<std::ptrdiff_t>(finished_.size() -
-                                                    retention_));
-  }
+  exporter_.export_span(std::move(span));
 }
 
 std::vector<const Span*> Tracer::trace(const std::string& trace_id) const {
   std::vector<const Span*> out;
-  for (const Span& span : finished_) {
+  for (const Span& span : exporter_.spans()) {
     if (span.trace_id == trace_id) out.push_back(&span);
   }
   std::sort(out.begin(), out.end(), [](const Span* a, const Span* b) {

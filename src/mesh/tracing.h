@@ -7,6 +7,11 @@
 // onto the sub-requests it spawns — exactly the cooperation Istio's
 // bookinfo app performs — which is also what lets the provenance filter
 // (core/) tie sub-requests back to the inbound request that caused them.
+//
+// The Tracer is a thin adapter over obs::SpanExporter: it owns id
+// allocation and the start/finish API the filters use, while the exporter
+// owns retention, sink fan-out, and the per-service span series in the
+// unified metric registry.
 
 #include <cstdint>
 #include <functional>
@@ -14,22 +19,14 @@
 #include <vector>
 
 #include "http/header_map.h"
+#include "obs/span_exporter.h"
 #include "sim/time.h"
 
 namespace meshnet::mesh {
 
-struct Span {
-  std::string trace_id;
-  std::string span_id;
-  std::string parent_span_id;
-  std::string service;
-  std::string operation;
-  sim::Time start = 0;
-  sim::Time end = 0;
-  bool error = false;
-
-  sim::Duration duration() const noexcept { return end - start; }
-};
+/// A span is exactly the exporter's record type; filters fill it in and
+/// the exporter publishes it.
+using Span = obs::SpanRecord;
 
 /// Span context carried in HTTP headers.
 struct TraceContext {
@@ -43,10 +40,15 @@ struct TraceContext {
               const std::string& parent_span_id) const;
 };
 
-/// Collects finished spans. One tracer is shared mesh-wide (it stands in
-/// for the Jaeger/Zipkin backend the control plane would export to).
+/// Allocates span ids and feeds finished spans to the exporter. One
+/// tracer is shared mesh-wide (it stands in for the Jaeger/Zipkin backend
+/// the control plane would export to).
 class Tracer {
  public:
+  /// Spans feed per-service series in `registry` when non-null.
+  explicit Tracer(obs::MetricRegistry* registry = nullptr)
+      : exporter_(registry) {}
+
   /// Starts a span; `parent` may be invalid (root span), in which case a
   /// fresh trace id is allocated.
   Span start_span(const std::string& service, const std::string& operation,
@@ -54,24 +56,31 @@ class Tracer {
 
   void finish_span(Span span, sim::Time now);
 
-  const std::vector<Span>& spans() const noexcept { return finished_; }
-  std::size_t span_count() const noexcept { return finished_.size(); }
+  /// Retained finished spans (bounded by the retention limit).
+  const std::vector<Span>& spans() const noexcept {
+    return exporter_.spans();
+  }
+  std::size_t span_count() const noexcept { return exporter_.span_count(); }
 
   /// All spans belonging to one trace, in start order.
   std::vector<const Span*> trace(const std::string& trace_id) const;
 
-  /// Keep only the most recent `limit` spans (memory bound for long runs);
-  /// 0 disables collection entirely (benches).
-  void set_retention(std::size_t limit) noexcept { retention_ = limit; }
+  /// Keep only the most recent `limit` spans (memory bound for long
+  /// runs); 0 disables retention (benches) — span *metrics* still flow to
+  /// the registry, only storage is skipped.
+  void set_retention(std::size_t limit) noexcept {
+    exporter_.set_retention(limit);
+  }
 
-  void clear() { finished_.clear(); }
+  void clear() { exporter_.clear(); }
+
+  obs::SpanExporter& exporter() noexcept { return exporter_; }
 
  private:
   std::string next_id(std::string_view prefix);
 
   std::uint64_t counter_ = 0;
-  std::size_t retention_ = SIZE_MAX;
-  std::vector<Span> finished_;
+  obs::SpanExporter exporter_;
 };
 
 }  // namespace meshnet::mesh

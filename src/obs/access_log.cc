@@ -1,0 +1,31 @@
+#include "obs/access_log.h"
+
+#include <utility>
+
+namespace meshnet::obs {
+
+AccessLog::AccessLog(MetricRegistry* registry) : registry_(registry) {
+  if (registry_) {
+    seen_counter_ = &registry_->counter("access_log_seen_total");
+    sampled_counter_ = &registry_->counter("access_log_records_total");
+  }
+}
+
+bool AccessLog::record(AccessLogRecord record) {
+  if (sample_every_ == 0) return false;
+  ++seen_;
+  if (seen_counter_) seen_counter_->inc();
+  if ((seen_ - 1) % sample_every_ != 0) return false;
+  records_.push_back(std::move(record));
+  if (sampled_counter_) sampled_counter_->inc();
+  return true;
+}
+
+void AccessLog::clear() {
+  seen_ = 0;
+  records_.clear();
+  if (seen_counter_) seen_counter_->reset();
+  if (sampled_counter_) sampled_counter_->reset();
+}
+
+}  // namespace meshnet::obs

@@ -1,0 +1,68 @@
+#pragma once
+
+// Structured per-request access logs, Envoy-style: one record per proxied
+// request with the fields an operator greps for first (route, priority
+// class, retries, deadline slack, upstream). Full logging at bench rates
+// would swamp memory, so records sit behind a deterministic sampling
+// knob: keep every Nth request, counted per sink — reproducible across
+// runs and thread counts, unlike probabilistic samplers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metric_registry.h"
+#include "sim/time.h"
+
+namespace meshnet::obs {
+
+struct AccessLogRecord {
+  sim::Time at = 0;  ///< completion time
+  std::string source;            ///< the sidecar's service
+  std::string route;             ///< request path
+  std::string upstream_cluster;  ///< empty when routing failed (e.g. 404)
+  std::string upstream_endpoint; ///< pod that served the final attempt
+  std::string priority;          ///< traffic-class name
+  int status = 0;
+  int retries = 0;               ///< attempts beyond the first
+  sim::Duration latency = 0;
+  /// Time left on the request deadline at completion; negative when the
+  /// deadline had already passed (the request was abandoned).
+  sim::Duration deadline_slack = 0;
+};
+
+class AccessLog {
+ public:
+  /// When `registry` is non-null, exposes access_log_seen_total /
+  /// access_log_records_total counters in the unified snapshot.
+  explicit AccessLog(MetricRegistry* registry = nullptr);
+
+  /// Keep one of every `n` records (1 = all). 0 disables logging
+  /// entirely — record() is then a no-op that doesn't even count, so
+  /// benches with logging off pay nothing.
+  void set_sample_every(std::uint64_t n) noexcept { sample_every_ = n; }
+  std::uint64_t sample_every() const noexcept { return sample_every_; }
+  bool enabled() const noexcept { return sample_every_ > 0; }
+
+  /// Returns true when the record was kept. Deterministic: the 1st,
+  /// (n+1)th, (2n+1)th... records seen are kept, in order.
+  bool record(AccessLogRecord record);
+
+  std::uint64_t seen() const noexcept { return seen_; }
+  std::uint64_t sampled() const noexcept { return records_.size(); }
+  const std::vector<AccessLogRecord>& records() const noexcept {
+    return records_;
+  }
+
+  void clear();
+
+ private:
+  MetricRegistry* registry_ = nullptr;
+  Counter* seen_counter_ = nullptr;
+  Counter* sampled_counter_ = nullptr;
+  std::uint64_t sample_every_ = 0;
+  std::uint64_t seen_ = 0;
+  std::vector<AccessLogRecord> records_;
+};
+
+}  // namespace meshnet::obs

@@ -1,0 +1,31 @@
+#pragma once
+
+// Bridges the event loop's deterministic self-profile (sim::LoopStats)
+// into the unified registry, so one snapshot carries the engine counters
+// next to the mesh metrics. Called once per run, after the simulation
+// drains — the loop profile is cumulative, not sampled.
+
+#include "obs/metric_registry.h"
+#include "sim/loop_stats.h"
+
+namespace meshnet::obs {
+
+inline void export_loop_stats(const sim::LoopStats& loop,
+                              MetricRegistry& registry) {
+  registry.counter("engine_scheduled").inc(loop.scheduled);
+  registry.counter("engine_executed").inc(loop.executed);
+  registry.counter("engine_cancelled").inc(loop.cancelled);
+  registry.counter("engine_heap_pushes").inc(loop.heap_pushes);
+  registry.counter("engine_wheel_pushes").inc(loop.wheel_pushes);
+  registry.counter("engine_due_merges").inc(loop.due_merges);
+  registry.counter("engine_task_heap_allocs").inc(loop.task_heap_allocs);
+  registry.counter("engine_heap_compactions").inc(loop.heap_compactions);
+  registry.counter("engine_wheel_compactions").inc(loop.wheel_compactions);
+  // A high-water mark, not a count: exported as a gauge so snapshot
+  // merging takes the max across sweep points instead of a meaningless
+  // sum.
+  registry.gauge("engine_max_queue_depth")
+      .set(static_cast<double>(loop.max_queue_depth));
+}
+
+}  // namespace meshnet::obs

@@ -1,0 +1,44 @@
+#pragma once
+
+// Typed mesh event channels. The mesh used to tag resilience events with
+// free-form strings ("breaker" / "health" / "fault"), which made event
+// filtering vulnerable to silent typos — `event_count("braker")` happily
+// returned 0. EventKind closes that hole: producers and consumers share
+// one enum, and the registry counts each kind under
+// mesh_events_total{kind=...}.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace meshnet::obs {
+
+enum class EventKind : std::uint8_t {
+  kBreaker = 0,  ///< circuit-breaker state transition
+  kHealth = 1,   ///< active-health-check eviction / readmission
+  kFault = 2,    ///< fault injected by the chaos layer
+};
+
+inline constexpr int kEventKindCount = 3;
+
+constexpr std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kBreaker:
+      return "breaker";
+    case EventKind::kHealth:
+      return "health";
+    case EventKind::kFault:
+      return "fault";
+  }
+  return "breaker";
+}
+
+constexpr std::optional<EventKind> event_kind_from_string(
+    std::string_view name) noexcept {
+  if (name == "breaker") return EventKind::kBreaker;
+  if (name == "health") return EventKind::kHealth;
+  if (name == "fault") return EventKind::kFault;
+  return std::nullopt;
+}
+
+}  // namespace meshnet::obs

@@ -151,6 +151,7 @@ util::Json BenchReport::to_json() const {
     points_array.push_back(std::move(point_obj));
   }
   doc.set("points", std::move(points_array));
+  if (metrics.is_object()) doc.set("metrics", metrics);
   return doc;
 }
 
@@ -247,6 +248,22 @@ CompareOutcome compare_reports(const util::Json& baseline,
       }
       compare_numeric_members(*baseline_section, *current_section,
                               point_id + "." + section, options, outcome);
+    }
+  }
+
+  // The unified observability snapshot, when the baseline carries one. Its
+  // numeric leaves (counter/gauge values, histogram summaries) are pure
+  // functions of the config, so they gate exactly like point sections;
+  // string leaves ("schema", "kind") are skipped by the numeric walk.
+  const util::Json* baseline_metrics = baseline.find("metrics");
+  if (baseline_metrics && baseline_metrics->is_object()) {
+    const util::Json* current_metrics = current.find("metrics");
+    if (!current_metrics || !current_metrics->is_object()) {
+      outcome.ok = false;
+      outcome.failures.push_back("missing top-level 'metrics' in current");
+    } else {
+      compare_numeric_members(*baseline_metrics, *current_metrics, "metrics",
+                              options, outcome);
     }
   }
   return outcome;

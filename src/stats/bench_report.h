@@ -64,6 +64,11 @@ struct BenchReport {
   /// numbers are machine-dependent and must not gate baselines.
   std::vector<std::pair<std::string, double>> engine;
   std::vector<BenchPoint> points;
+  /// Optional unified observability snapshot (schema meshnet-metrics-v1,
+  /// see obs/metric_registry.h). When set to an object it is serialized
+  /// under a top-level "metrics" key and gated by the comparator like any
+  /// other deterministic section (counters exactly, wall_* never).
+  util::Json metrics;
 
   util::Json to_json() const;
 
@@ -97,8 +102,10 @@ struct CompareOutcome {
 /// Compares `current` against `baseline` (both parsed report documents).
 /// Rules: experiments and configs must match; every baseline point (by id)
 /// must exist in current; every numeric metric/counter/histogram field in
-/// the baseline must be present in current and within tolerance. Fields
-/// only in `current` are ignored (adding metrics does not break a
+/// the baseline must be present in current and within tolerance; if the
+/// baseline carries a top-level "metrics" object (meshnet-metrics-v1), it
+/// must exist in current and every numeric leaf is compared the same way.
+/// Fields only in `current` are ignored (adding metrics does not break a
 /// baseline); "wall_ms", "threads", any "wall_*"-named metric, and the
 /// top-level "engine" object are never compared.
 CompareOutcome compare_reports(const util::Json& baseline,

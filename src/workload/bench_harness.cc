@@ -120,6 +120,7 @@ PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result) {
   metrics.counters["engine_max_queue_depth"] = loop.max_queue_depth;
   metrics.histograms["ls_latency_ns"] = result.ls_latency;
   metrics.histograms["li_latency_ns"] = result.li_latency;
+  metrics.snapshot = result.metrics;
   return metrics;
 }
 

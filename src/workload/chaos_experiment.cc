@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "obs/engine_metrics.h"
 #include "sim/simulator.h"
 
 namespace meshnet::workload {
@@ -78,7 +79,7 @@ ChaosExperimentResult run_chaos_elibrary_experiment(
   faults::ChaosController chaos(sim, app.cluster(), config.seed);
   chaos.set_fault_hook([&](const faults::FaultLogEntry& entry) {
     app.control_plane().telemetry().record_event(
-        entry.at, "fault", entry.target,
+        entry.at, obs::EventKind::kFault, entry.target,
         std::string(faults::fault_action_name(entry.action)));
   });
   faults::FaultPlan plan;
@@ -170,10 +171,10 @@ ChaosExperimentResult run_chaos_elibrary_experiment(
   result.li = summarize(li_gen);
 
   mesh::TelemetrySink& telemetry = app.control_plane().telemetry();
-  result.breaker_events = telemetry.event_count("breaker");
-  result.health_events = telemetry.event_count("health");
+  result.breaker_events = telemetry.event_count(obs::EventKind::kBreaker);
+  result.health_events = telemetry.event_count(obs::EventKind::kHealth);
   for (const mesh::MeshEvent& event : telemetry.events()) {
-    if (event.kind == "health") {
+    if (event.kind == obs::EventKind::kHealth) {
       if (event.detail == "evicted") ++result.health_evictions;
       if (event.detail == "readmitted") ++result.health_readmissions;
     }
@@ -187,6 +188,8 @@ ChaosExperimentResult run_chaos_elibrary_experiment(
   result.mesh_events = telemetry.events();
   result.events_executed = sim.events_executed();
   result.loop_stats = sim.loop_stats();
+  obs::export_loop_stats(result.loop_stats, app.control_plane().metrics());
+  result.metrics = app.control_plane().metrics().snapshot();
   return result;
 }
 

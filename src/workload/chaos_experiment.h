@@ -99,6 +99,8 @@ struct ChaosExperimentResult {
   std::uint64_t events_executed = 0;
   /// Event-loop profile for the run (deterministic; see sim/loop_stats.h).
   sim::LoopStats loop_stats;
+  /// The unified meshnet-metrics-v1 snapshot for the run.
+  obs::MetricsSnapshot metrics;
 };
 
 ChaosExperimentResult run_chaos_elibrary_experiment(

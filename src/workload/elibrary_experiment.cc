@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "obs/engine_metrics.h"
 #include "sim/simulator.h"
 
 namespace meshnet::workload {
@@ -123,6 +124,8 @@ ElibraryExperimentResult run_elibrary_experiment(
   result.events_executed = sim.events_executed();
   result.loop_stats = sim.loop_stats();
   result.spans_recorded = app.control_plane().tracer().span_count();
+  obs::export_loop_stats(result.loop_stats, app.control_plane().metrics());
+  result.metrics = app.control_plane().metrics().snapshot();
   return result;
 }
 

@@ -12,6 +12,7 @@
 
 #include "app/elibrary.h"
 #include "core/cross_layer.h"
+#include "obs/metric_registry.h"
 #include "sim/loop_stats.h"
 #include "stats/histogram.h"
 #include "workload/generator.h"
@@ -73,6 +74,10 @@ struct ElibraryExperimentResult {
   std::uint64_t spans_recorded = 0;
   /// Event-loop profile for the run (deterministic; see sim/loop_stats.h).
   sim::LoopStats loop_stats;
+  /// The unified meshnet-metrics-v1 snapshot: edge metrics, span stats,
+  /// mesh events and engine counters from one registry. Bit-identical
+  /// across runs with the same config.
+  obs::MetricsSnapshot metrics;
 };
 
 ElibraryExperimentResult run_elibrary_experiment(

@@ -74,6 +74,7 @@ SweepResult SweepRunner::run() {
     for (const auto& [name, value] : point.metrics.counters) {
       result.merged_counters[name] += value;
     }
+    result.merged_snapshot.merge(point.metrics.snapshot);
     result.point_wall_ms.record(point.wall_ms);
   }
   result.wall_ms = elapsed_ms(sweep_start);
@@ -99,6 +100,9 @@ stats::BenchReport make_bench_report(
     out.histograms = point.metrics.histograms;
     out.wall_ms = point.wall_ms;
     report.points.push_back(std::move(out));
+  }
+  if (!sweep.merged_snapshot.empty()) {
+    report.metrics = sweep.merged_snapshot.to_json();
   }
   return report;
 }

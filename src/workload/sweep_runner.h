@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metric_registry.h"
 #include "stats/bench_report.h"
 #include "stats/histogram.h"
 #include "stats/running_stats.h"
@@ -41,6 +42,8 @@ struct PointMetrics {
   std::map<std::string, double> scalars;           ///< e.g. "ls_p99_ms"
   std::map<std::string, std::uint64_t> counters;   ///< e.g. "events"
   std::map<std::string, stats::LogHistogram> histograms;  ///< raw samples
+  /// The point's unified meshnet-metrics-v1 snapshot (may be empty).
+  obs::MetricsSnapshot snapshot;
 };
 
 /// One point of a sweep: a stable id, the parameters that define it (kept
@@ -69,6 +72,9 @@ struct SweepResult {
   std::map<std::string, stats::LogHistogram> merged_histograms;
   std::map<std::string, std::uint64_t> merged_counters;
   stats::RunningStats point_wall_ms;
+  /// Union of the points' snapshots, folded in input order (counters sum,
+  /// histograms merge, gauges max) — the whole-sweep observability view.
+  obs::MetricsSnapshot merged_snapshot;
 };
 
 struct SweepOptions {

@@ -477,10 +477,10 @@ TEST_F(ElibraryFixture, LiRequestReturnsBulkBytes) {
 TEST_F(ElibraryFixture, RequestTraversesWholeTree) {
   get("/product/1");
   const auto& telemetry = app->control_plane().telemetry();
-  EXPECT_NE(telemetry.edge("gateway", "frontend"), nullptr);
-  EXPECT_NE(telemetry.edge("frontend", "details"), nullptr);
-  EXPECT_NE(telemetry.edge("frontend", "reviews"), nullptr);
-  EXPECT_NE(telemetry.edge("reviews", "ratings"), nullptr);
+  EXPECT_TRUE(telemetry.edge("gateway", "frontend").has_value());
+  EXPECT_TRUE(telemetry.edge("frontend", "details").has_value());
+  EXPECT_TRUE(telemetry.edge("frontend", "reviews").has_value());
+  EXPECT_TRUE(telemetry.edge("reviews", "ratings").has_value());
 }
 
 TEST_F(ElibraryFixture, TraceCoversAllHops) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "obs/metric_registry.h"
 #include "stats/bench_report.h"
 
 namespace meshnet::stats {
@@ -155,6 +156,59 @@ TEST(BenchCompare, ExperimentMismatchFails) {
   EXPECT_FALSE(outcome.ok);
   EXPECT_NE(outcome.failures[0].find("experiment mismatch"),
             std::string::npos);
+}
+
+// --------------------------------- the unified "metrics" block --------
+
+BenchReport report_with_metrics(std::uint64_t requests) {
+  BenchReport report = sample_report();
+  obs::MetricRegistry registry;
+  registry.counter("mesh_requests_total").inc(requests);
+  registry.gauge("engine_max_queue_depth").set(17.0);
+  registry.histogram("span_duration_ns", {{"service", "gateway"}})
+      .record(5000);
+  report.metrics = registry.snapshot().to_json();
+  return report;
+}
+
+TEST(BenchReport, MetricsBlockRoundTrips) {
+  const BenchReport report = report_with_metrics(12);
+  const util::Json doc = report.to_json();
+  const util::Json* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_EQ(metrics->find("schema")->string_or(""), "meshnet-metrics-v1");
+  const util::Json* series = metrics->find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->find("mesh_requests_total")->find("value")->number_or(0),
+            12.0);
+  // A report without a snapshot emits no "metrics" key at all.
+  EXPECT_EQ(sample_report().to_json().find("metrics"), nullptr);
+}
+
+TEST(BenchCompare, MetricsBlockGatesExactly) {
+  const util::Json baseline = report_with_metrics(12).to_json();
+  EXPECT_TRUE(compare_reports(baseline, baseline).ok);
+  // A single counter drifting by one fails the gate.
+  const util::Json drifted = report_with_metrics(13).to_json();
+  const CompareOutcome outcome = compare_reports(baseline, drifted);
+  EXPECT_FALSE(outcome.ok);
+  ASSERT_FALSE(outcome.failures.empty());
+  EXPECT_NE(outcome.failures[0].find("metrics.series.mesh_requests_total"),
+            std::string::npos);
+}
+
+TEST(BenchCompare, BaselineMetricsBlockRequiredInCurrent) {
+  const util::Json baseline = report_with_metrics(12).to_json();
+  const CompareOutcome outcome =
+      compare_reports(baseline, sample_report().to_json());
+  EXPECT_FALSE(outcome.ok);
+  ASSERT_FALSE(outcome.failures.empty());
+  EXPECT_NE(outcome.failures[0].find("missing top-level 'metrics'"),
+            std::string::npos);
+  // The converse is fine: a current with metrics passes a pre-metrics
+  // baseline untouched (fields only in current are ignored).
+  EXPECT_TRUE(
+      compare_reports(sample_report().to_json(), baseline).ok);
 }
 
 TEST(BenchCompare, ConfigMismatchFails) {

@@ -113,8 +113,8 @@ TEST(Integration, ProvenancePropagatesThroughTheTree) {
   // Priority routing sent the analytics request to reviews-v2 (low) and
   // the product request to reviews-v1 (high).
   const auto& telemetry = app.control_plane().telemetry();
-  const auto* frontend_reviews = telemetry.edge("frontend", "reviews");
-  ASSERT_NE(frontend_reviews, nullptr);
+  const auto frontend_reviews = telemetry.edge("frontend", "reviews");
+  ASSERT_TRUE(frontend_reviews.has_value());
   EXPECT_EQ(frontend_reviews->requests, 2u);
 }
 

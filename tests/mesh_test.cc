@@ -319,11 +319,11 @@ TEST(CircuitBreaker, StateNames) {
 
 TEST(Telemetry, AggregatesPerEdge) {
   TelemetrySink sink;
-  sink.record_request("a", "b", 200, sim::milliseconds(5), 0);
-  sink.record_request("a", "b", 503, sim::milliseconds(9), 2);
-  sink.record_request("a", "c", 200, sim::milliseconds(1), 0);
-  const EdgeMetrics* ab = sink.edge("a", "b");
-  ASSERT_NE(ab, nullptr);
+  sink.record_request({"a", "b", 200, sim::milliseconds(5), 0});
+  sink.record_request({"a", "b", 503, sim::milliseconds(9), 2});
+  sink.record_request({"a", "c", 200, sim::milliseconds(1), 0});
+  const auto ab = sink.edge("a", "b");
+  ASSERT_TRUE(ab.has_value());
   EXPECT_EQ(ab->requests, 2u);
   EXPECT_EQ(ab->failures, 1u);
   EXPECT_EQ(ab->retries, 2u);
@@ -331,21 +331,43 @@ TEST(Telemetry, AggregatesPerEdge) {
   EXPECT_EQ(sink.total_requests(), 3u);
   EXPECT_EQ(sink.total_failures(), 1u);
   EXPECT_EQ(sink.edges().size(), 2u);
-  EXPECT_EQ(sink.edge("x", "y"), nullptr);
+  EXPECT_FALSE(sink.edge("x", "y").has_value());
 }
 
 TEST(Telemetry, TransportErrorsCountAsFailures) {
   TelemetrySink sink;
-  sink.record_request("a", "b", 0, 0, 0);  // status 0 = no response
+  sink.record_request({"a", "b", 0, 0, 0});  // status 0 = no response
   EXPECT_EQ(sink.edge("a", "b")->failures, 1u);
 }
 
 TEST(Telemetry, Clear) {
   TelemetrySink sink;
-  sink.record_request("a", "b", 200, 1, 0);
+  sink.record_request({"a", "b", 200, 1, 0});
   sink.clear();
   EXPECT_EQ(sink.total_requests(), 0u);
   EXPECT_TRUE(sink.edges().empty());
+}
+
+TEST(Telemetry, LatencyLabelledByPriorityClass) {
+  TelemetrySink sink;
+  RequestSample sample{"a", "b", 200, sim::milliseconds(2), 0,
+                       TrafficClass::kLatencySensitive};
+  sink.record_request(sample);
+  sample.priority = TrafficClass::kScavenger;
+  sink.record_request(sample);
+  // The per-class series are distinct; edge() merges them back.
+  const obs::MetricsSnapshot snap = sink.registry().snapshot();
+  EXPECT_NE(snap.find("mesh_request_latency_ns",
+                      {{"source", "a"},
+                       {"upstream", "b"},
+                       {"class", "latency-sensitive"}}),
+            nullptr);
+  EXPECT_NE(snap.find("mesh_request_latency_ns",
+                      {{"source", "a"},
+                       {"upstream", "b"},
+                       {"class", "scavenger"}}),
+            nullptr);
+  EXPECT_EQ(sink.edge("a", "b")->latency.count(), 2u);
 }
 
 // ---------------------------------------------- meshed test fixture --
@@ -466,11 +488,82 @@ TEST_F(MeshFixture, TelemetryRecordsEdge) {
   build();
   get("server", "/a");
   get("server", "/b");
-  const EdgeMetrics* edge =
-      control_plane_->telemetry().edge("client", "server");
-  ASSERT_NE(edge, nullptr);
+  const auto edge = control_plane_->telemetry().edge("client", "server");
+  ASSERT_TRUE(edge.has_value());
   EXPECT_EQ(edge->requests, 2u);
   EXPECT_EQ(edge->failures, 0u);
+}
+
+TEST_F(MeshFixture, NoRouteResponseStillClosesSpan) {
+  build();
+  const auto response = get("nowhere", "/lost");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 404);
+  // The 404 short-circuits before any upstream attempt, but the outbound
+  // span must still be finished — it used to leak (never exported).
+  const auto& spans = control_plane_->tracer().spans();
+  ASSERT_FALSE(spans.empty());
+  bool found = false;
+  for (const Span& span : spans) {
+    if (span.service != "client") continue;
+    found = true;
+    EXPECT_GE(span.end, span.start);
+    EXPECT_FALSE(span.error);  // 404 is a routing miss, not a mesh error
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MeshFixture, DeadlineAbandonedRequestClosesSpanAsError) {
+  MeshPolicies policies;
+  policies.request_timeout = sim::milliseconds(200);
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::seconds(5);  // far past the deadline
+    return plan;
+  });
+  const auto response = get("server", "/slow");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 504);
+  // The armed-deadline path must export the outbound span, flagged as an
+  // error, with a duration pinned to the deadline (not the handler's 5s).
+  bool found = false;
+  for (const Span& span : control_plane_->tracer().spans()) {
+    if (span.service != "client" || !span.error) continue;
+    found = true;
+    EXPECT_GE(span.duration(), sim::milliseconds(200));
+    EXPECT_LT(span.duration(), sim::seconds(1));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MeshFixture, AccessLogCapturesProxiedRequests) {
+  MeshPolicies policies;
+  policies.access_log_sample_every = 1;  // keep everything
+  build(1, policies);
+  ASSERT_TRUE(get("server", "/a").has_value());
+  ASSERT_TRUE(get("nowhere", "/missing").has_value());
+
+  const obs::AccessLog& log =
+      control_plane_->telemetry().access_log();
+  ASSERT_GE(log.sampled(), 2u);
+  bool saw_ok = false;
+  bool saw_miss = false;
+  for (const obs::AccessLogRecord& record : log.records()) {
+    if (record.route == "/a" && record.status == 200) {
+      saw_ok = true;
+      EXPECT_EQ(record.source, "client");
+      EXPECT_EQ(record.upstream_cluster, "server");
+      EXPECT_EQ(record.upstream_endpoint, "server-v1");
+      EXPECT_GT(record.latency, 0);
+      EXPECT_GT(record.deadline_slack, 0);  // finished well before 15s
+    }
+    if (record.route == "/missing" && record.status == 404) {
+      saw_miss = true;
+      EXPECT_TRUE(record.upstream_cluster.empty());
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_miss);
 }
 
 TEST_F(MeshFixture, AuthorizationDeniesUnlistedSource) {
@@ -937,7 +1030,8 @@ TEST_F(MeshFixture, HealthCheckerEvictsCrashedPodAndReadmitsOnRestart) {
       client_sidecar_->health_checker()->healthy("server", "server-v1"));
   EXPECT_GE(client_sidecar_->health_checker()->stats().readmissions, 1u);
   // Telemetry carries the eviction/readmission transitions.
-  EXPECT_GE(control_plane_->telemetry().event_count("health"), 2u);
+  EXPECT_GE(control_plane_->telemetry().event_count(obs::EventKind::kHealth),
+            2u);
 }
 
 }  // namespace

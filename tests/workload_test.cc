@@ -263,12 +263,41 @@ void expect_identical_sweeps(const SweepResult& a, const SweepResult& b) {
     ASSERT_TRUE(b.merged_histograms.count(name)) << name;
     EXPECT_EQ(histogram, b.merged_histograms.at(name)) << name;
   }
+  // The unified meshnet-metrics-v1 snapshots: per point and merged,
+  // series-for-series including every histogram bucket.
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    EXPECT_EQ(a.points[i].metrics.snapshot, b.points[i].metrics.snapshot)
+        << "snapshot of point " << a.points[i].id;
+  }
+  EXPECT_EQ(a.merged_snapshot, b.merged_snapshot);
 }
 
 TEST(SweepRunnerDeterminism, Fig4At40RpsBitIdenticalAcrossThreadCounts) {
   const SweepResult serial = run_fig4_sweep(1);
   ASSERT_EQ(serial.points.size(), 2u);
   ASSERT_GT(serial.points[0].metrics.counters.at("ls_completed"), 0u);
+
+  // One snapshot carries all four telemetry surfaces for the run: edge
+  // metrics, span statistics, mesh events and engine counters.
+  const obs::MetricsSnapshot& merged = serial.merged_snapshot;
+  ASSERT_FALSE(merged.empty());
+  const obs::SeriesSnapshot* edge_requests = merged.find(
+      "mesh_requests_total",
+      {{"source", "gateway"}, {"upstream", "frontend"}});
+  ASSERT_NE(edge_requests, nullptr);
+  EXPECT_GT(edge_requests->counter, 0u);
+  const obs::SeriesSnapshot* spans =
+      merged.find("spans_total", {{"service", "gateway"}});
+  ASSERT_NE(spans, nullptr);
+  EXPECT_GT(spans->counter, 0u);  // recorded even at retention 0
+  EXPECT_GT(merged.find("engine_scheduled")->counter, 0u);
+  // Event series are eagerly interned: present (zero) even though a
+  // healthy Fig.4 run trips no breakers.
+  const obs::SeriesSnapshot* breaker_events =
+      merged.find("mesh_events_total", {{"kind", "breaker"}});
+  ASSERT_NE(breaker_events, nullptr);
+  EXPECT_EQ(breaker_events->counter, 0u);
+
   for (const int threads : {4, 8}) {
     SCOPED_TRACE("threads=" + std::to_string(threads));
     const SweepResult parallel = run_fig4_sweep(threads);

@@ -8,7 +8,11 @@
 // I/O error. Rules are in stats/bench_report.h: every baseline point and
 // metric must exist in the current run and match within the (relative)
 // tolerance; host wall-clock and thread counts are never compared; metrics
-// added since the baseline was captured are ignored.
+// added since the baseline was captured are ignored. When the baseline
+// carries a top-level "metrics" block (the unified meshnet-metrics-v1
+// snapshot), its series gate too — counter values exactly at the default
+// tolerance, histogram summaries per-leaf (override with --tol=p99=...);
+// "wall_*"-named leaves are skipped like everywhere else.
 //
 // Refreshing a baseline is deliberate: re-run the bench with --json-out
 // pointed at the baseline path and commit the diff (see EXPERIMENTS.md).
