@@ -1,0 +1,137 @@
+// Overload e-library: priority-aware admission control past the knee.
+//
+// Sweeps offered load from half capacity to 3x capacity on the
+// compute-bound e-library tuning, with the admission subsystem on and
+// off. LS load is fixed (10 rps); LI analytics traffic fills the rest.
+// The claim under test: at 2x overload, admission keeps LS p99 within
+// 25% of its uncontended (0.5x) value while >= 90% of the shedding
+// falls on LI traffic.
+//
+//   ./overload_elibrary [--seed=42] [--capacity-rps=30] [--ls-rps=10]
+//                       [--duration=10] [--threads=N]
+//                       [--json-out[=PATH]] [--baseline=P]
+//
+// Every (load_factor, admission) pair is an independent sweep point;
+// --threads parallelizes them bit-identically.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/bench_harness.h"
+#include "workload/overload_experiment.h"
+
+using namespace meshnet;
+
+namespace {
+
+constexpr double kLoadFactors[] = {0.5, 1.0, 2.0, 3.0};
+
+std::string format_factor(double factor) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f", factor);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::OverloadExperimentConfig config;
+  const workload::HarnessOptions options = workload::parse_harness_flags(
+      argc, argv, "overload",
+      /*default_duration_s=*/static_cast<std::int64_t>(
+          sim::to_seconds(config.duration)),
+      /*default_seed=*/config.seed, {"capacity-rps", "ls-rps"});
+  config.seed = options.seed;
+  config.duration = sim::seconds(options.duration_s);
+  config.capacity_rps =
+      options.flags.get_double_or("capacity-rps", config.capacity_rps);
+  config.ls_rps = options.flags.get_double_or("ls-rps", config.ls_rps);
+
+  std::printf(
+      "overload e-library: capacity ~%.0f rps, LS fixed at %.0f rps,\n"
+      "load factors 0.5x..3x, admission on/off, seed %llu\n\n",
+      config.capacity_rps, config.ls_rps,
+      static_cast<unsigned long long>(config.seed));
+
+  workload::SweepRunner runner(workload::sweep_options(options));
+  const std::size_t num_factors = std::size(kLoadFactors);
+  std::vector<workload::OverloadExperimentResult> arms(2 * num_factors);
+  for (std::size_t i = 0; i < num_factors; ++i) {
+    for (const bool admission : {true, false}) {
+      const std::size_t slot = 2 * i + (admission ? 0 : 1);
+      runner.add({{"load", format_factor(kLoadFactors[i]) + "x"},
+                  {"admission", admission ? "on" : "off"}},
+                 [config, i, admission, slot, &arms] {
+                   workload::OverloadExperimentConfig arm = config;
+                   arm.load_factor = kLoadFactors[i];
+                   arm.admission = admission;
+                   arms[slot] = workload::run_overload_experiment(arm);
+                   return workload::overload_point_metrics(arms[slot]);
+                 });
+    }
+  }
+  const workload::SweepResult sweep = runner.run();
+
+  std::printf(
+      "%-6s %-9s | %9s %7s %8s %8s | %9s %7s %8s | %7s %7s %8s\n", "load",
+      "admission", "LS rps", "LS err", "LS p50", "LS p99", "LI rps", "LI err",
+      "LI p99", "LS shed", "LI shed", "timeouts");
+  for (std::size_t i = 0; i < num_factors; ++i) {
+    for (const bool admission : {true, false}) {
+      const workload::OverloadExperimentResult& r =
+          arms[2 * i + (admission ? 0 : 1)];
+      std::printf(
+          "%-6s %-9s | %9.1f %7llu %8.1f %8.1f | %9.1f %7llu %8.1f | %7llu "
+          "%7llu %8llu\n",
+          (format_factor(kLoadFactors[i]) + "x").c_str(),
+          admission ? "on" : "off", r.ls.achieved_rps,
+          static_cast<unsigned long long>(r.ls.errors), r.ls.p50_ms,
+          r.ls.p99_ms, r.li.achieved_rps,
+          static_cast<unsigned long long>(r.li.errors), r.li.p99_ms,
+          static_cast<unsigned long long>(r.ls_shed),
+          static_cast<unsigned long long>(r.li_shed),
+          static_cast<unsigned long long>(r.timeouts));
+    }
+  }
+
+  // The acceptance comparison: 2x overload vs the uncontended 0.5x point,
+  // both with admission on.
+  const workload::OverloadExperimentResult& uncontended = arms[0];  // 0.5x on
+  const workload::OverloadExperimentResult& overloaded = arms[4];   // 2.0x on
+  const double p99_ratio = uncontended.ls.p99_ms > 0
+                               ? overloaded.ls.p99_ms / uncontended.ls.p99_ms
+                               : 0.0;
+  const std::uint64_t total_shed =
+      overloaded.ls_shed + overloaded.li_shed + overloaded.default_shed;
+  const double li_shed_share =
+      total_shed > 0 ? static_cast<double>(overloaded.li_shed) /
+                           static_cast<double>(total_shed)
+                     : 1.0;
+  std::printf(
+      "\nat 2x overload (admission on):\n"
+      "  LS p99 %.1f ms vs %.1f ms uncontended  -> ratio %.2f (goal <= 1.25)\n"
+      "  sheds: LS %llu / LI %llu / default %llu -> %.1f%% on LI (goal >= "
+      "90%%)\n"
+      "  by reason: queue-full %llu, deadline %llu, preempted %llu\n"
+      "  retries suppressed by overload marker: %llu\n",
+      overloaded.ls.p99_ms, uncontended.ls.p99_ms, p99_ratio,
+      static_cast<unsigned long long>(overloaded.ls_shed),
+      static_cast<unsigned long long>(overloaded.li_shed),
+      static_cast<unsigned long long>(overloaded.default_shed),
+      100.0 * li_shed_share,
+      static_cast<unsigned long long>(overloaded.shed_queue_full),
+      static_cast<unsigned long long>(overloaded.shed_deadline),
+      static_cast<unsigned long long>(overloaded.shed_preempted),
+      static_cast<unsigned long long>(
+          overloaded.retries_suppressed_by_overload));
+
+  const stats::BenchReport report = workload::make_bench_report(
+      "overload",
+      {{"seed", std::to_string(config.seed)},
+       {"duration_s", std::to_string(options.duration_s)},
+       {"capacity_rps", std::to_string(config.capacity_rps)},
+       {"ls_rps", std::to_string(config.ls_rps)}},
+      sweep);
+  return workload::finish_harness(report, options);
+}

@@ -44,9 +44,11 @@ void CrossLayerController::install_filters() {
           std::make_shared<ProvenanceTable>(sim, config_.provenance_ttl);
       tables_[pod] = table;
       // The same filter instance serves both chains so inbound recordings
-      // are visible to outbound lookups — that is the whole point.
+      // are visible to outbound lookups — that is the whole point. On the
+      // inbound chain provenance must resolve the traffic class *before*
+      // the admission filter decides who is shed first.
       auto filter = std::make_shared<ProvenanceFilter>(table);
-      sidecar->inbound_filters().append(filter);
+      sidecar->inbound_filters().insert_before("admission", filter);
       sidecar->outbound_filters().append(filter);
     }
 

@@ -15,6 +15,7 @@ Id intern(std::string_view name) noexcept {
       break;
     case 11:
       if (util::iequals(name, kSpanId)) return Id::kSpanId;
+      if (util::iequals(name, kShedReason)) return Id::kShedReason;
       break;
     case 12:
       if (util::iequals(name, kRequestId)) return Id::kRequestId;
@@ -31,6 +32,9 @@ Id intern(std::string_view name) noexcept {
       break;
     case 17:
       if (util::iequals(name, kParentSpanId)) return Id::kParentSpanId;
+      break;
+    case 18:
+      if (util::iequals(name, kDeadlineMs)) return Id::kDeadlineMs;
       break;
     case 21:
       if (util::iequals(name, kRetryAttempt)) return Id::kRetryAttempt;
@@ -63,6 +67,10 @@ std::string_view name_of(Id id) noexcept {
       break;
     case Id::kMeshSource:
       return kMeshSource;
+    case Id::kDeadlineMs:
+      return kDeadlineMs;
+    case Id::kShedReason:
+      return kShedReason;
   }
   return "";
 }

@@ -37,6 +37,13 @@ inline constexpr std::string_view kParentSpanId = "x-b3-parentspanid";
 inline constexpr std::string_view kRetryAttempt = "x-envoy-attempt-count";
 /// Peer service identity stamped by the provenance filter.
 inline constexpr std::string_view kMeshSource = "x-mesh-source";
+/// Milliseconds left on the caller's armed request deadline, stamped by
+/// the outbound sidecar so the serving sidecar's admission controller
+/// can shed requests whose deadline is already unmeetable.
+inline constexpr std::string_view kDeadlineMs = "x-mesh-deadline-ms";
+/// Shed marker on admission-control 503s: carries the shed reason and
+/// tells the caller's retry logic not to amplify the overload.
+inline constexpr std::string_view kShedReason = "x-mesh-shed";
 
 /// Interned ids for the well-known names above. kUnknown means "not a
 /// well-known header"; such entries are matched by case-insensitive
@@ -52,6 +59,8 @@ enum class Id : std::uint8_t {
   kParentSpanId,
   kRetryAttempt,
   kMeshSource,
+  kDeadlineMs,
+  kShedReason,
 };
 
 /// Id for `name` (case-insensitive), or Id::kUnknown.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "mesh/admission.h"
 #include "mesh/builtin_filters.h"
 #include "util/logging.h"
 
@@ -28,12 +29,18 @@ Sidecar& ControlPlane::inject_sidecar(cluster::Pod& pod,
   sidecars_.push_back(std::move(sidecar));
 
   // Standard filter set. Order matters: identity before authz; tracing
-  // first so every later filter sees the request id.
+  // first so every later filter sees the request id. Admission runs last
+  // on the inbound chain so authorization rejects never consume queue
+  // slots and provenance (installed later via insert_before) has already
+  // resolved the request's priority class.
   const std::string service = ref.config().service_name;
   ref.inbound_filters().append(
       std::make_shared<TracingFilter>(tracer_, sim_, service));
   ref.inbound_filters().append(std::make_shared<AuthorizationFilter>(
       service, &policies_.authorization));
+  Sidecar* raw = &ref;
+  ref.inbound_filters().append(std::make_shared<AdmissionFilter>(
+      sim_, [raw] { return raw->admission_controller(); }));
   ref.outbound_filters().append(
       std::make_shared<TracingFilter>(tracer_, sim_, service));
   ref.outbound_filters().append(
@@ -77,6 +84,7 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
   config.service_name = sidecar.config().service_name;
   config.retry = policies_.retry;
   config.request_timeout = policies_.request_timeout;
+  config.admission = policies_.admission;
   config.authorization = policies_.authorization;
   config.class_policies = policies_.class_policies;
   config.transport_mss = policies_.transport_mss;

@@ -43,6 +43,9 @@ struct MeshPolicies {
   /// Active health checking, applied to every cluster (off by default).
   HealthCheckConfig health_check;
   sim::Duration request_timeout = sim::seconds(15);
+  /// Priority-aware overload control, applied to every sidecar's inbound
+  /// path (off by default; the overload experiments turn it on).
+  AdmissionConfig admission;
   std::map<std::string, std::vector<std::string>> authorization;
   std::map<TrafficClass, TrafficClassPolicy> class_policies;
   /// Per-cluster LB overrides (cluster name -> policy).

@@ -14,13 +14,29 @@ std::string_view traffic_class_name(TrafficClass c) noexcept {
   return "?";
 }
 
-bool FilterChain::run_request(RequestContext& ctx) const {
-  for (const auto& filter : filters_) {
-    if (filter->on_request(ctx) == FilterStatus::kStopIteration) {
-      return false;
+void FilterChain::insert_before(std::string_view name,
+                                std::shared_ptr<HttpFilter> filter) {
+  for (auto it = filters_.begin(); it != filters_.end(); ++it) {
+    if ((*it)->name() == name) {
+      filters_.insert(it, std::move(filter));
+      return;
     }
   }
-  return true;
+  filters_.push_back(std::move(filter));
+}
+
+ChainResult FilterChain::run_request(RequestContext& ctx) const {
+  for (const auto& filter : filters_) {
+    switch (filter->on_request(ctx)) {
+      case FilterStatus::kContinue:
+        break;
+      case FilterStatus::kStopIteration:
+        return ChainResult::kStopped;
+      case FilterStatus::kPause:
+        return ChainResult::kPaused;
+    }
+  }
+  return ChainResult::kContinue;
 }
 
 void FilterChain::run_response(RequestContext& ctx,

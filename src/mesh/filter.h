@@ -9,10 +9,12 @@
 // study (core/) is implemented entirely as filters plugged in here, which
 // is the paper's "easier evolvability" argument made concrete.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "http/message.h"
@@ -63,11 +65,25 @@ struct RequestContext {
 
   /// Set by a filter to short-circuit with a local reply (e.g. 403).
   std::optional<http::HttpResponse> local_response;
+
+  // --- admission-control state (mesh/admission.h) ---
+  /// Ticket for a request parked in the admission queue (kPause).
+  std::uint64_t admission_ticket = 0;
+  /// True while the request holds an admission concurrency slot; the
+  /// admission filter's on_response releases it exactly once.
+  bool admission_admitted = false;
+  sim::Time admission_dispatch_time = 0;
+  /// Priority class the admission decision was made under (stable even
+  /// if a later filter rewrites traffic_class).
+  TrafficClass admission_class = TrafficClass::kDefault;
+  /// Shed reason name when this sidecar shed the request ("" otherwise).
+  std::string shed_reason;
 };
 
 enum class FilterStatus {
   kContinue,
   kStopIteration,  ///< Stop the chain; ctx.local_response is sent if set.
+  kPause,          ///< Park the request; a continuation resumes or sheds it.
 };
 
 class HttpFilter {
@@ -86,15 +102,25 @@ class HttpFilter {
   }
 };
 
+/// Outcome of running the request half of a chain.
+enum class ChainResult {
+  kContinue,  ///< every filter continued; forward the request
+  kStopped,   ///< a filter stopped; send ctx.local_response if present
+  kPaused,    ///< a filter parked the request (admission queue)
+};
+
 class FilterChain {
  public:
   void append(std::shared_ptr<HttpFilter> filter) {
     filters_.push_back(std::move(filter));
   }
 
-  /// Runs request filters in order. Returns false if a filter stopped
-  /// iteration (caller should send ctx.local_response if present).
-  bool run_request(RequestContext& ctx) const;
+  /// Inserts `filter` immediately before the first filter named `name`;
+  /// appends when no such filter exists.
+  void insert_before(std::string_view name, std::shared_ptr<HttpFilter> filter);
+
+  /// Runs request filters in order until one stops or pauses iteration.
+  ChainResult run_request(RequestContext& ctx) const;
 
   /// Runs response filters in reverse registration order.
   void run_response(RequestContext& ctx, http::HttpResponse& response) const;

@@ -89,6 +89,14 @@ void Sidecar::apply_config(SidecarConfig config) {
   // Balancers are rebuilt lazily so a changed LB policy takes effect.
   balancers_.clear();
   sync_health_targets();
+  // The admission controller carries learned state (the adaptive limit,
+  // queued requests), so it is created once on the first enabling push
+  // and survives subsequent pushes.
+  if (config_.admission.enabled && admission_ == nullptr) {
+    admission_ = std::make_unique<AdmissionController>(
+        config_.service_name, config_.admission,
+        telemetry_ != nullptr ? &telemetry_->registry() : nullptr);
+  }
 }
 
 void Sidecar::sync_health_targets() {
@@ -244,10 +252,45 @@ void Sidecar::process_request_now(std::uint64_t session_id,
     ++stats_.outbound_requests;
   }
 
-  if (!chain.run_request(*ctx)) {
+  const ChainResult chain_result = chain.run_request(*ctx);
+  if (chain_result == ChainResult::kPaused) {
+    // The admission filter parked the request in its priority queue.
+    // Attach the two continuations; exactly one fires, on a later
+    // admission event (a completion freeing capacity, or a preemption).
+    admission_->bind(
+        ctx->admission_ticket,
+        [this, session_id, ctx, direction] {
+          ctx->admission_admitted = true;
+          ctx->admission_dispatch_time = sim_.now();
+          if (ctx->injected_delay > 0) {
+            sim_.schedule_after(ctx->injected_delay,
+                                [this, session_id, ctx, direction]() mutable {
+                                  continue_request(session_id, std::move(ctx),
+                                                   direction);
+                                });
+            return;
+          }
+          continue_request(session_id, ctx, direction);
+        },
+        [this, session_id, ctx, direction](ShedReason reason) {
+          ctx->shed_reason = std::string(shed_reason_name(reason));
+          http::HttpResponse response = make_local_response(
+              503, "admission shed: " + ctx->shed_reason);
+          response.headers.set(http::headers::Id::kShedReason,
+                               ctx->shed_reason);
+          const FilterChain& c = direction == FilterDirection::kInbound
+                                     ? inbound_chain_
+                                     : outbound_chain_;
+          c.run_response(*ctx, response);
+          respond_to_session(session_id, ctx, std::move(response));
+        });
+    return;
+  }
+  if (chain_result == ChainResult::kStopped) {
     http::HttpResponse response =
         ctx->local_response ? std::move(*ctx->local_response)
                             : make_local_response(403, "filter denied");
+    if (!ctx->shed_reason.empty()) ++stats_.local_responses;
     auto deliver = [this, session_id, ctx, direction,
                     response = std::move(response)]() mutable {
       const FilterChain& c = direction == FilterDirection::kInbound
@@ -368,6 +411,12 @@ void Sidecar::finish_outbound(std::uint64_t session_id, const Ctx& ctx,
       record.status = response.status;
       record.retries = ctx->attempt;
       record.latency = latency;
+      // Shed either locally (this sidecar's admission filter) or by the
+      // upstream (marker header on its 503).
+      record.shed_reason =
+          !ctx->shed_reason.empty()
+              ? ctx->shed_reason
+              : response.headers.get_or(http::headers::Id::kShedReason, "");
       const auto it = sessions_.find(session_id);
       if (it != sessions_.end() && it->second->deadline > 0) {
         record.deadline_slack = it->second->deadline - sim_.now();
@@ -581,6 +630,15 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
 
   ctx->request.headers.set(http::headers::Id::kRetryAttempt,
                            std::to_string(ctx->attempt + 1));
+  // Advertise the remaining deadline budget so the serving sidecar's
+  // admission controller can shed requests it cannot answer in time.
+  if (config_.request_timeout > 0 && session.deadline > sim_.now()) {
+    const sim::Duration remaining = session.deadline - sim_.now();
+    ctx->request.headers.set(
+        http::headers::Id::kDeadlineMs,
+        std::to_string(std::max<sim::Duration>(
+            1, remaining / sim::milliseconds(1))));
+  }
   // The wire hop goes to the remote pod's *inbound sidecar listener*; the
   // Host header tells the remote side which service was meant (the moral
   // equivalent of Istio's iptables redirect preserving metadata).
@@ -648,9 +706,19 @@ void Sidecar::on_upstream_result(std::uint64_t session_id, Ctx ctx,
     if (inflight_retries > 0) --inflight_retries;
   }
 
+  // An x-mesh-shed 503 is the upstream's admission controller saying
+  // "overloaded, by policy": the endpoint is alive and answering fast.
+  // It must not trip the breaker (a shed storm on low-priority traffic
+  // would open the breaker and take the high-priority traffic with it),
+  // and retrying it amplifies the overload, so it is non-retryable
+  // unless explicitly opted in.
+  const bool shed_by_upstream =
+      response.has_value() &&
+      response->headers.has(http::headers::Id::kShedReason);
+
   CircuitBreaker& breaker = breaker_for(cluster_name, endpoint_pod);
   const bool success = response.has_value() && response->status < 500;
-  if (success) {
+  if (success || shed_by_upstream) {
     breaker.on_success(sim_.now());
   } else {
     breaker.on_failure(sim_.now());
@@ -659,8 +727,14 @@ void Sidecar::on_upstream_result(std::uint64_t session_id, Ctx ctx,
   const RetryPolicy& retry = config_.retry;
   const bool failed_transport = !response.has_value();
   const bool failed_5xx = response.has_value() && response->status >= 500;
-  const bool retryable = (failed_transport && retry.retry_on_reset) ||
-                         (failed_5xx && retry.retry_on_5xx);
+  bool retryable = (failed_transport && retry.retry_on_reset) ||
+                   (failed_5xx && retry.retry_on_5xx);
+  if (retryable && shed_by_upstream && !retry.retry_on_overloaded) {
+    if (ctx->attempt < retry.max_retries) {
+      ++stats_.retries_suppressed_by_overload;
+    }
+    retryable = false;
+  }
   if (retryable && ctx->attempt < retry.max_retries &&
       sess_it != sessions_.end() && sim_.now() < sess_it->second->deadline) {
     // Retry budget: active retries may be at most `retry_budget` of the

@@ -31,6 +31,7 @@
 
 #include "cluster/cluster.h"
 #include "http/codec.h"
+#include "mesh/admission.h"
 #include "mesh/circuit_breaker.h"
 #include "mesh/filter.h"
 #include "mesh/health_checker.h"
@@ -63,6 +64,13 @@ struct RetryPolicy {
   /// Floor below which the budget never bites, so low-traffic clusters
   /// can still retry at all.
   std::uint32_t retry_budget_min_concurrency = 3;
+
+  /// Whether a 503 carrying the x-mesh-shed marker (the upstream's
+  /// admission controller shed the request) is retryable. Off by
+  /// default: retrying into a declared overload only amplifies it, and
+  /// any retry that does go out re-enters admission like a fresh
+  /// arrival (preferred shed victim).
+  bool retry_on_overloaded = false;
 };
 
 /// Next retry sleep for attempt number `attempt` (1-based: the first
@@ -108,6 +116,11 @@ struct SidecarConfig {
   RetryPolicy retry;
   sim::Duration request_timeout = sim::seconds(15);
 
+  /// Priority-aware overload control on the inbound path (off by
+  /// default). The controller is created on the first config push that
+  /// enables it; later pushes keep the running controller's state.
+  AdmissionConfig admission;
+
   /// Destination-service allow-lists (mTLS-style authorization policy):
   /// if this sidecar's service has an entry, only the listed source
   /// services may call it. No entry = allow all.
@@ -137,6 +150,9 @@ struct SidecarStats {
   std::uint64_t local_responses = 0;     ///< filter short-circuits
   std::uint64_t timeouts = 0;
   std::uint64_t retries_denied_by_budget = 0;
+  /// Retryable failures not retried because the upstream declared
+  /// overload (x-mesh-shed) and retry_on_overloaded is off.
+  std::uint64_t retries_suppressed_by_overload = 0;
   std::uint64_t health_probes_answered = 0;
 };
 
@@ -173,6 +189,12 @@ class Sidecar {
 
   /// The active health checker (created in start(); null before).
   HealthChecker* health_checker() noexcept { return health_checker_.get(); }
+
+  /// The inbound admission controller (null until a pushed config
+  /// enables admission).
+  AdmissionController* admission_controller() noexcept {
+    return admission_.get();
+  }
 
  private:
   struct ServerSession {
@@ -267,6 +289,7 @@ class Sidecar {
   /// (attempt > 0) — the denominator/numerator of the retry budget.
   std::map<std::string, std::uint64_t> inflight_per_cluster_;
   std::map<std::string, std::uint64_t> inflight_retries_per_cluster_;
+  std::unique_ptr<AdmissionController> admission_;
   sim::RngStream overhead_rng_;
   sim::RngStream retry_rng_;
   bool started_ = false;

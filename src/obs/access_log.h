@@ -26,6 +26,9 @@ struct AccessLogRecord {
   int status = 0;
   int retries = 0;               ///< attempts beyond the first
   sim::Duration latency = 0;
+  /// Admission-control shed reason ("queue-full" / "deadline" /
+  /// "preempted"); empty for requests that were not shed.
+  std::string shed_reason;
   /// Time left on the request deadline at completion; negative when the
   /// deadline had already passed (the request was abandoned).
   sim::Duration deadline_slack = 0;

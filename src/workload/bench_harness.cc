@@ -124,4 +124,37 @@ PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result) {
   return metrics;
 }
 
+PointMetrics overload_point_metrics(const OverloadExperimentResult& result) {
+  PointMetrics metrics;
+  const auto add_workload = [&metrics](const std::string& prefix,
+                                       const WorkloadSummary& summary) {
+    metrics.scalars[prefix + "_achieved_rps"] = summary.achieved_rps;
+    metrics.scalars[prefix + "_p50_ms"] = summary.p50_ms;
+    metrics.scalars[prefix + "_p90_ms"] = summary.p90_ms;
+    metrics.scalars[prefix + "_p99_ms"] = summary.p99_ms;
+    metrics.scalars[prefix + "_mean_ms"] = summary.mean_ms;
+    metrics.counters[prefix + "_completed"] = summary.completed;
+    metrics.counters[prefix + "_errors"] = summary.errors;
+  };
+  add_workload("ls", result.ls);
+  add_workload("li", result.li);
+  metrics.counters["ls_shed"] = result.ls_shed;
+  metrics.counters["li_shed"] = result.li_shed;
+  metrics.counters["default_shed"] = result.default_shed;
+  metrics.counters["shed_queue_full"] = result.shed_queue_full;
+  metrics.counters["shed_deadline"] = result.shed_deadline;
+  metrics.counters["shed_preempted"] = result.shed_preempted;
+  metrics.counters["admission_accepted"] = result.admission_accepted;
+  metrics.counters["admission_queued"] = result.admission_queued;
+  metrics.counters["upstream_retries"] = result.upstream_retries;
+  metrics.counters["retries_suppressed_by_overload"] =
+      result.retries_suppressed_by_overload;
+  metrics.counters["timeouts"] = result.timeouts;
+  metrics.counters["events"] = result.events_executed;
+  metrics.histograms["ls_latency_ms"] = result.ls_latency;
+  metrics.histograms["li_latency_ms"] = result.li_latency;
+  metrics.snapshot = result.metrics;
+  return metrics;
+}
+
 }  // namespace meshnet::workload

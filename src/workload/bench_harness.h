@@ -26,6 +26,7 @@
 #include "stats/bench_report.h"
 #include "util/flags.h"
 #include "workload/elibrary_experiment.h"
+#include "workload/overload_experiment.h"
 #include "workload/sweep_runner.h"
 
 namespace meshnet::workload {
@@ -63,5 +64,11 @@ int finish_harness(const stats::BenchReport& report,
 /// p50/p90/p99/mean, success rate, completion/error/event counters and
 /// the raw latency histograms.
 PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result);
+
+/// The standard metric set for one OVERLOAD experiment arm: per-workload
+/// latency scalars, admission/shed/retry counters, latency histograms
+/// and the unified metrics snapshot. Shared by examples/overload_elibrary
+/// and the OverloadDeterminism golden so both compare the same surface.
+PointMetrics overload_point_metrics(const OverloadExperimentResult& result);
 
 }  // namespace meshnet::workload

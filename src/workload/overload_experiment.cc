@@ -1,0 +1,169 @@
+#include "workload/overload_experiment.h"
+
+#include <memory>
+#include <string_view>
+
+#include "obs/engine_metrics.h"
+#include "sim/simulator.h"
+
+namespace meshnet::workload {
+
+app::ElibraryOptions OverloadExperimentConfig::default_overload_app() {
+  app::ElibraryOptions app;
+  // Compute-bound tuning: payloads small enough that the 1 Gbps ratings
+  // vNIC never saturates; the frontend's seven workers (each held for
+  // the whole fan-out, ~63 ms per request) are the knee, near 110 rps.
+  app.component_bytes = 2 * 1024;
+  app.analytics_multiplier = 2;
+  app.service_time = sim::milliseconds(20);
+  app.app_max_concurrency = 7;
+
+  mesh::MeshPolicies& policies = app.policies;
+  // A short end-to-end deadline makes deadline-aware shedding observable
+  // and bounds the drain tail.
+  policies.request_timeout = sim::seconds(2);
+  policies.retry.max_retries = 1;
+  policies.retry.retry_budget = 0.2;
+
+  mesh::AdmissionConfig& admission = policies.admission;
+  admission.enabled = false;  // toggled per arm by the experiment
+  admission.queue_capacity = 64;
+  admission.shed_retries_first = true;
+  // Four of the seven slots are reserved: an LS arrival waits only when
+  // four LS requests are already in flight (~0.4% at 10 rps x 63 ms),
+  // while uncontended LI load (~2.3 concurrent) fits the other three.
+  admission.reserve_slots = 4;
+  admission.limit.initial_limit = 7;
+  admission.limit.min_limit = 2;
+  admission.limit.max_limit = 12;
+  admission.limit.window = sim::milliseconds(200);
+  admission.limit.min_window_samples = 5;
+  admission.limit.latency_tolerance = 2.0;
+  return app;
+}
+
+OverloadExperimentResult run_overload_experiment(
+    const OverloadExperimentConfig& config) {
+  http::reset_request_id_counter();
+  sim::Simulator sim;
+
+  app::ElibraryOptions app_options = config.app;
+  app_options.policies.admission.enabled = config.admission;
+  app::Elibrary app(sim, app_options);
+  app.control_plane().tracer().set_retention(0);
+
+  // Classification at the gateway + provenance propagation are what give
+  // the admission controllers a priority to act on; both arms run with
+  // the cross-layer filters installed so the only difference between
+  // them is the admission subsystem itself.
+  core::CrossLayerController cross_layer(app.control_plane(), app.cluster(),
+                                         config.cross_layer_config);
+  cross_layer.install();
+
+  mesh::HttpClientPool::Options client_options;
+  client_options.max_connections = 2048;
+  client_options.connection.mss = app_options.policies.transport_mss;
+  mesh::HttpClientPool client(sim, app.client_pod().transport(),
+                              app.gateway_address(), client_options,
+                              "wrk2-client");
+
+  const sim::Time measure_start = config.warmup;
+  const sim::Time measure_end = config.warmup + config.duration;
+  const sim::Time traffic_end = measure_end + config.cooldown;
+
+  WorkloadSpec ls;
+  ls.name = "latency-sensitive";
+  ls.rps = config.ls_rps;
+  ls.arrival = config.arrival;
+  ls.make_request = simple_get_factory(
+      "frontend", std::string(app::Elibrary::kLsPathPrefix));
+  ls.start = 0;
+  ls.end = traffic_end;
+  ls.measure_start = measure_start;
+  ls.measure_end = measure_end;
+
+  WorkloadSpec li = ls;
+  li.name = "latency-insensitive";
+  li.rps = config.li_rps();
+  li.make_request = simple_get_factory(
+      "frontend", std::string(app::Elibrary::kLiPathPrefix));
+
+  OpenLoopGenerator ls_gen(sim, client, ls, config.seed);
+  OpenLoopGenerator li_gen(sim, client, li, config.seed + 1);
+  ls_gen.start();
+  li_gen.start();
+
+  // Drain: every in-flight request either completes or hits its armed
+  // deadline within request_timeout of the last arrival.
+  sim.run_until(traffic_end + app_options.policies.request_timeout +
+                sim::seconds(5));
+
+  auto summarize = [](const OpenLoopGenerator& gen) {
+    WorkloadSummary s;
+    const LatencyRecorder& rec = gen.recorder();
+    s.completed = rec.count();
+    s.errors = rec.errors();
+    s.achieved_rps = rec.throughput_rps();
+    s.p50_ms = rec.p50_ms();
+    s.p90_ms = rec.p90_ms();
+    s.p99_ms = rec.p99_ms();
+    s.mean_ms = rec.mean_ms();
+    return s;
+  };
+
+  OverloadExperimentResult result;
+  result.ls = summarize(ls_gen);
+  result.li = summarize(li_gen);
+  result.ls_latency = ls_gen.recorder().histogram();
+  result.li_latency = li_gen.recorder().histogram();
+
+  for (const auto& sidecar : app.control_plane().sidecars()) {
+    const mesh::SidecarStats& stats = sidecar->stats();
+    result.upstream_retries += stats.upstream_retries;
+    result.retries_suppressed_by_overload +=
+        stats.retries_suppressed_by_overload;
+    result.timeouts += stats.timeouts;
+  }
+
+  result.events_executed = sim.events_executed();
+  result.loop_stats = sim.loop_stats();
+  obs::export_loop_stats(result.loop_stats, app.control_plane().metrics());
+  result.metrics = app.control_plane().metrics().snapshot();
+
+  // Fold the admission series (one per service/class/reason) into the
+  // by-class and by-reason totals the acceptance criteria talk about.
+  auto label_value = [](const obs::SeriesSnapshot& series,
+                        std::string_view key) -> std::string_view {
+    for (const auto& [k, v] : series.labels) {
+      if (k == key) return v;
+    }
+    return "";
+  };
+  for (const obs::SeriesSnapshot& series : result.metrics.series) {
+    if (series.name == "admission_accepted_total") {
+      result.admission_accepted += series.counter;
+    } else if (series.name == "admission_queued_total") {
+      result.admission_queued += series.counter;
+    } else if (series.name == "admission_shed_total") {
+      const std::string_view klass = label_value(series, "class");
+      if (klass == "latency-sensitive") {
+        result.ls_shed += series.counter;
+      } else if (klass == "scavenger") {
+        result.li_shed += series.counter;
+      } else {
+        result.default_shed += series.counter;
+      }
+      const std::string_view reason = label_value(series, "reason");
+      if (reason == "queue-full") {
+        result.shed_queue_full += series.counter;
+      } else if (reason == "deadline") {
+        result.shed_deadline += series.counter;
+      } else if (reason == "preempted") {
+        result.shed_preempted += series.counter;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace meshnet::workload

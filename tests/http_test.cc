@@ -8,6 +8,7 @@
 #include "http/codec.h"
 #include "http/header_map.h"
 #include "http/message.h"
+#include "sim/random.h"
 
 namespace meshnet::http {
 namespace {
@@ -377,6 +378,206 @@ TEST(Codec, LargeBinaryBodySurvives) {
   parser.set_on_response([&](HttpResponse r) { out = std::move(r); });
   ASSERT_TRUE(parser.feed(serialize_response(resp)));
   EXPECT_EQ(out.body, resp.body);
+}
+
+// ----- Randomized round-trip fuzz: decode(encode(m)) == m for arbitrary
+// messages, under arbitrary wire chunking and pipelining. -----
+
+// Random trimmed header value: the parser strips surrounding whitespace,
+// so values are generated with none (interior spaces are fair game).
+std::string random_header_value(sim::RngStream& rng) {
+  const std::size_t len = rng.uniform_int(0, 24);
+  std::string value(len, '?');
+  for (std::size_t i = 0; i < len; ++i) {
+    const bool interior = i != 0 && i + 1 != len;
+    // Printable ASCII minus CR/LF; spaces only in the interior.
+    do {
+      value[i] = static_cast<char>(rng.uniform_int(interior ? 0x20 : 0x21,
+                                                   0x7e));
+    } while (value[i] == ' ' && !interior);
+  }
+  return value;
+}
+
+// Random header name: lowercase (the parser canonicalizes to lowercase,
+// so generating lowercase keeps equality exact), never content-length
+// (the serializer owns that one).
+std::string random_header_name(sim::RngStream& rng) {
+  static constexpr char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  std::string name;
+  do {
+    const std::size_t len = rng.uniform_int(1, 16);
+    name.assign(len, '?');
+    for (std::size_t i = 0; i < len; ++i) {
+      name[i] = kAlphabet[rng.uniform_int(0, sizeof(kAlphabet) - 2)];
+    }
+  } while (name == headers::kContentLength);
+  return name;
+}
+
+void fill_random_headers(HeaderMap& map, sim::RngStream& rng) {
+  static constexpr headers::Id kWellKnown[] = {
+      headers::Id::kHost,        headers::Id::kRequestId,
+      headers::Id::kMeshPriority, headers::Id::kTraceId,
+      headers::Id::kSpanId,      headers::Id::kParentSpanId,
+      headers::Id::kRetryAttempt, headers::Id::kMeshSource,
+      headers::Id::kDeadlineMs,  headers::Id::kShedReason,
+  };
+  const std::size_t count = rng.uniform_int(0, 8);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.bernoulli(0.5)) {
+      // Interned fast path — including duplicates via add().
+      const headers::Id id =
+          kWellKnown[rng.uniform_int(0, std::size(kWellKnown) - 1)];
+      map.add(headers::name_of(id), random_header_value(rng));
+    } else {
+      map.add(random_header_name(rng), random_header_value(rng));
+    }
+  }
+}
+
+// Body size classes: empty / tiny / medium / bulk, arbitrary bytes.
+std::string random_body(sim::RngStream& rng) {
+  std::size_t size = 0;
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      size = 0;
+      break;
+    case 1:
+      size = rng.uniform_int(1, 8);
+      break;
+    case 2:
+      size = rng.uniform_int(100, 1000);
+      break;
+    default:
+      size = rng.uniform_int(20000, 60000);
+      break;
+  }
+  std::string body(size, '\0');
+  for (std::size_t i = 0; i < size; ++i) {
+    body[i] = static_cast<char>(rng.uniform_int(0, 255));
+  }
+  return body;
+}
+
+HttpRequest random_request(sim::RngStream& rng) {
+  static constexpr std::string_view kMethods[] = {"GET", "POST", "PUT",
+                                                  "DELETE", "PATCH"};
+  HttpRequest req;
+  req.method = kMethods[rng.uniform_int(0, std::size(kMethods) - 1)];
+  req.path = "/";
+  for (std::uint64_t seg = rng.uniform_int(0, 3); seg > 0; --seg) {
+    if (req.path.back() != '/') req.path += '/';
+    for (std::uint64_t i = rng.uniform_int(1, 8); i > 0; --i) {
+      req.path += static_cast<char>('a' + rng.uniform_int(0, 25));
+    }
+  }
+  fill_random_headers(req.headers, rng);
+  req.body = random_body(rng);
+  return req;
+}
+
+HttpResponse random_response(sim::RngStream& rng) {
+  HttpResponse resp;
+  resp.status = static_cast<int>(rng.uniform_int(100, 599));
+  fill_random_headers(resp.headers, rng);
+  resp.body = random_body(rng);
+  return resp;
+}
+
+// Feeds `wire` to the parser in random-size chunks.
+template <typename Parser>
+void feed_in_random_chunks(Parser& parser, const std::string& wire,
+                           sim::RngStream& rng) {
+  std::size_t offset = 0;
+  while (offset < wire.size()) {
+    // Mix single bytes, small slivers, and big gulps so chunk edges land
+    // in every parser state (start line, header line, CRLF, body).
+    std::size_t chunk = 0;
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        chunk = 1;
+        break;
+      case 1:
+        chunk = rng.uniform_int(2, 40);
+        break;
+      default:
+        chunk = rng.uniform_int(41, 30000);
+        break;
+    }
+    chunk = std::min(chunk, wire.size() - offset);
+    ASSERT_TRUE(parser.feed(std::string_view(wire).substr(offset, chunk)));
+    offset += chunk;
+  }
+}
+
+// The serializer owns content-length (rewrites it from the body), so the
+// round-trip comparison normalizes it away on both sides.
+HeaderMap without_content_length(const HeaderMap& map) {
+  HeaderMap out = map;
+  out.remove(headers::Id::kContentLength);
+  return out;
+}
+
+TEST(CodecFuzz, RandomRequestsRoundTripUnderRandomChunking) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    sim::RngStream rng(seed, "http-fuzz-request");
+    std::vector<HttpRequest> originals;
+    std::string wire;
+    for (std::uint64_t i = rng.uniform_int(1, 3); i > 0; --i) {
+      originals.push_back(random_request(rng));
+      wire += serialize_request(originals.back());
+    }
+    HttpParser parser(ParserKind::kRequest);
+    std::vector<HttpRequest> parsed;
+    parser.set_on_request(
+        [&](HttpRequest r) { parsed.push_back(std::move(r)); });
+    feed_in_random_chunks(parser, wire, rng);
+    ASSERT_EQ(parsed.size(), originals.size());
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+    for (std::size_t i = 0; i < originals.size(); ++i) {
+      EXPECT_EQ(parsed[i].method, originals[i].method);
+      EXPECT_EQ(parsed[i].path, originals[i].path);
+      EXPECT_EQ(parsed[i].body, originals[i].body);
+      EXPECT_EQ(without_content_length(parsed[i].headers),
+                without_content_length(originals[i].headers));
+    }
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      return;
+    }
+  }
+}
+
+TEST(CodecFuzz, RandomResponsesRoundTripUnderRandomChunking) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    sim::RngStream rng(seed, "http-fuzz-response");
+    std::vector<HttpResponse> originals;
+    std::string wire;
+    for (std::uint64_t i = rng.uniform_int(1, 3); i > 0; --i) {
+      originals.push_back(random_response(rng));
+      wire += serialize_response(originals.back());
+    }
+    HttpParser parser(ParserKind::kResponse);
+    std::vector<HttpResponse> parsed;
+    parser.set_on_response(
+        [&](HttpResponse r) { parsed.push_back(std::move(r)); });
+    feed_in_random_chunks(parser, wire, rng);
+    ASSERT_EQ(parsed.size(), originals.size());
+    EXPECT_EQ(parser.buffered_bytes(), 0u);
+    for (std::size_t i = 0; i < originals.size(); ++i) {
+      EXPECT_EQ(parsed[i].status, originals[i].status);
+      EXPECT_EQ(parsed[i].body, originals[i].body);
+      EXPECT_EQ(without_content_length(parsed[i].headers),
+                without_content_length(originals[i].headers));
+    }
+    if (::testing::Test::HasFatalFailure() ||
+        ::testing::Test::HasNonfatalFailure()) {
+      return;
+    }
+  }
 }
 
 }  // namespace

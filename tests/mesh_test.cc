@@ -110,7 +110,7 @@ TEST(FilterChain, RequestOrderAndResponseReversed) {
   chain.append(std::make_shared<RecordingFilter>("a", &log));
   chain.append(std::make_shared<RecordingFilter>("b", &log));
   RequestContext ctx;
-  EXPECT_TRUE(chain.run_request(ctx));
+  EXPECT_EQ(chain.run_request(ctx), ChainResult::kContinue);
   http::HttpResponse response;
   chain.run_response(ctx, response);
   EXPECT_EQ(log, (std::vector<std::string>{"req:a", "req:b", "resp:b",
@@ -124,7 +124,7 @@ TEST(FilterChain, StopIterationShortCircuits) {
       "gate", &log, FilterStatus::kStopIteration));
   chain.append(std::make_shared<RecordingFilter>("never", &log));
   RequestContext ctx;
-  EXPECT_FALSE(chain.run_request(ctx));
+  EXPECT_EQ(chain.run_request(ctx), ChainResult::kStopped);
   EXPECT_EQ(log, std::vector<std::string>{"req:gate"});
 }
 
@@ -1032,6 +1032,318 @@ TEST_F(MeshFixture, HealthCheckerEvictsCrashedPodAndReadmitsOnRestart) {
   // Telemetry carries the eviction/readmission transitions.
   EXPECT_GE(control_plane_->telemetry().event_count(obs::EventKind::kHealth),
             2u);
+}
+
+// ------------------------------------- admission / overload control --
+
+/// MeshFixture plus concurrent (non-blocking) request issue, so tests
+/// can hold the server's admission slot busy while more arrivals land.
+class AdmissionFixture : public MeshFixture {
+ protected:
+  struct Pending {
+    std::optional<http::HttpResponse> response;
+    bool done = false;
+  };
+
+  /// Admission config with the adaptive limit pinned (min == max), so
+  /// the test controls exactly how many requests fit.
+  static AdmissionConfig pinned_admission(std::uint32_t limit,
+                                          std::size_t queue_capacity) {
+    AdmissionConfig admission;
+    admission.enabled = true;
+    admission.queue_capacity = queue_capacity;
+    admission.limit.initial_limit = limit;
+    admission.limit.min_limit = limit;
+    admission.limit.max_limit = limit;
+    return admission;
+  }
+
+  void send(const std::string& host, const std::string& path, Pending* out,
+            const std::string& priority = "") {
+    http::HttpRequest request;
+    request.path = path;
+    request.headers.set(http::headers::kHost, host);
+    if (!priority.empty()) {
+      request.headers.set(http::headers::kMeshPriority, priority);
+    }
+    client_->request(std::move(request),
+                     [out](std::optional<http::HttpResponse> response,
+                           const std::string&) {
+                       out->response = std::move(response);
+                       out->done = true;
+                     });
+  }
+
+  void run_for(sim::Duration duration) {
+    sim_.run_until(sim_.now() + duration);
+  }
+
+  static bool is_shed_503(const Pending& pending) {
+    return pending.done && pending.response.has_value() &&
+           pending.response->status == 503 &&
+           pending.response->headers.has(http::headers::Id::kShedReason);
+  }
+};
+
+TEST_F(AdmissionFixture, ShedRespondsWith503AndMarkerHeader) {
+  MeshPolicies policies;
+  policies.admission = pinned_admission(1, 0);
+  int invocations = 0;
+  build(1, policies, [&invocations](const http::HttpRequest&, int) {
+    ++invocations;
+    app::HandlerResult plan;
+    plan.processing_delay = sim::milliseconds(100);
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  Pending first;
+  Pending second;
+  send("server", "/a", &first);
+  send("server", "/b", &second);
+  run_for(sim::seconds(1));
+
+  ASSERT_TRUE(first.done);
+  ASSERT_TRUE(second.done);
+  // One slot, no queue: the earlier arrival is served, the other is shed
+  // with the marked 503 and never reaches the app.
+  ASSERT_TRUE(first.response.has_value());
+  EXPECT_EQ(first.response->status, 200);
+  EXPECT_TRUE(is_shed_503(second));
+  EXPECT_EQ(second.response->headers.get_or(http::headers::Id::kShedReason,
+                                            ""),
+            "queue-full");
+  EXPECT_EQ(invocations, 1);
+
+  const AdmissionController* admission =
+      server_sidecars_[0]->admission_controller();
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->counters().accepted, 1u);
+  EXPECT_EQ(admission->counters().completed, 1u);
+  EXPECT_EQ(admission->counters().shed_queue_full, 1u);
+}
+
+TEST_F(AdmissionFixture, RetryStormSuppressedWhenUpstreamSheds) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 3;  // would amplify 4x if sheds were retried
+  policies.admission = pinned_admission(1, 0);
+  int invocations = 0;
+  build(1, policies, [&invocations](const http::HttpRequest&, int) {
+    ++invocations;
+    app::HandlerResult plan;
+    plan.processing_delay = sim::milliseconds(200);
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  std::vector<Pending> pending(4);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    send("server", "/r" + std::to_string(i), &pending[i]);
+  }
+  run_for(sim::seconds(2));
+
+  // A shed 503 is retryable by status but marked as overload, and
+  // retry_on_overloaded defaults off — so the three sheds produce zero
+  // upstream retries (no retry storm) and exactly one app attempt.
+  int served = 0;
+  int shed = 0;
+  for (const Pending& p : pending) {
+    ASSERT_TRUE(p.done);
+    ASSERT_TRUE(p.response.has_value());
+    if (p.response->status == 200) ++served;
+    if (is_shed_503(p)) ++shed;
+  }
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(shed, 3);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(client_sidecar_->stats().upstream_retries, 0u);
+  EXPECT_EQ(client_sidecar_->stats().retries_suppressed_by_overload, 3u);
+}
+
+TEST_F(AdmissionFixture, OptInRetriesReenterAdmissionAndStayBounded) {
+  MeshPolicies policies;
+  policies.retry.max_retries = 2;
+  policies.retry.retry_on_overloaded = true;  // the amplifying opt-in
+  policies.retry.backoff_jitter = false;
+  policies.retry.backoff_base = sim::milliseconds(10);
+  policies.admission = pinned_admission(1, 0);
+  int invocations = 0;
+  build(1, policies, [&invocations](const http::HttpRequest&, int) {
+    ++invocations;
+    app::HandlerResult plan;
+    plan.processing_delay = sim::seconds(1);  // slot busy through all retries
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  std::vector<Pending> pending(3);
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    send("server", "/o" + std::to_string(i), &pending[i]);
+  }
+  run_for(sim::seconds(3));
+
+  // Even with retries opted in, each retry re-enters admission and is
+  // shed there: attempts are bounded by max_retries and the app still
+  // sees exactly one request — never a storm.
+  int served = 0;
+  int shed = 0;
+  for (const Pending& p : pending) {
+    ASSERT_TRUE(p.done);
+    ASSERT_TRUE(p.response.has_value());
+    if (p.response->status == 200) ++served;
+    if (is_shed_503(p)) ++shed;
+  }
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(shed, 2);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_GE(client_sidecar_->stats().upstream_retries, 1u);
+  EXPECT_LE(client_sidecar_->stats().upstream_retries,
+            2u * static_cast<std::uint64_t>(policies.retry.max_retries));
+}
+
+TEST_F(AdmissionFixture, ShedStormDoesNotTripCircuitBreaker) {
+  MeshPolicies policies;
+  policies.breaker.consecutive_failures = 3;
+  policies.admission = pinned_admission(1, 0);
+  int invocations = 0;
+  build(1, policies, [&invocations](const http::HttpRequest&, int) {
+    ++invocations;
+    app::HandlerResult plan;
+    plan.processing_delay = sim::milliseconds(500);
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  // Well past the breaker threshold in sheds while the slot is held.
+  Pending holder;
+  send("server", "/hold", &holder);
+  std::vector<Pending> storm(6);
+  for (std::size_t i = 0; i < storm.size(); ++i) {
+    run_for(sim::milliseconds(10));
+    send("server", "/s" + std::to_string(i), &storm[i]);
+  }
+  run_for(sim::seconds(1));
+  for (const Pending& p : storm) EXPECT_TRUE(is_shed_503(p));
+
+  // Sheds are deliberate backpressure from a live endpoint, not endpoint
+  // failure: the breaker must still be closed, so the next request (sent
+  // after the holder freed the slot) flows straight through.
+  Pending after;
+  send("server", "/after", &after);
+  run_for(sim::seconds(1));
+  ASSERT_TRUE(after.done);
+  ASSERT_TRUE(after.response.has_value());
+  EXPECT_EQ(after.response->status, 200);
+  EXPECT_EQ(invocations, 2);
+}
+
+TEST_F(AdmissionFixture, QueueDispatchesHighPriorityFirst) {
+  MeshPolicies policies;
+  policies.admission = pinned_admission(1, 4);
+  std::vector<std::string> order;
+  build(1, policies, [&order](const http::HttpRequest& request, int) {
+    order.push_back(request.path);
+    app::HandlerResult plan;
+    plan.processing_delay = sim::milliseconds(100);
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  Pending holder;
+  Pending low;
+  Pending high;
+  send("server", "/hold", &holder);
+  run_for(sim::milliseconds(10));
+  send("server", "/low", &low, "low");      // queued first...
+  run_for(sim::milliseconds(10));
+  send("server", "/high", &high, "high");   // ...but dispatched second
+  run_for(sim::seconds(1));
+
+  ASSERT_TRUE(holder.done && low.done && high.done);
+  EXPECT_EQ(holder.response->status, 200);
+  EXPECT_EQ(low.response->status, 200);
+  EXPECT_EQ(high.response->status, 200);
+  // High priority jumps the scavenger in the queue despite arriving later.
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "/hold");
+  EXPECT_EQ(order[1], "/high");
+  EXPECT_EQ(order[2], "/low");
+}
+
+TEST_F(AdmissionFixture, HighPriorityArrivalPreemptsQueuedScavenger) {
+  MeshPolicies policies;
+  // Queue budget of one: the high-priority arrival finds it full and must
+  // preempt the queued scavenger outright.
+  policies.admission = pinned_admission(1, 1);
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::milliseconds(100);
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  Pending holder;
+  Pending low;
+  Pending high;
+  send("server", "/hold", &holder);
+  run_for(sim::milliseconds(10));
+  send("server", "/low", &low, "low");
+  run_for(sim::milliseconds(10));
+  send("server", "/high", &high, "high");
+  run_for(sim::seconds(1));
+
+  ASSERT_TRUE(holder.done && low.done && high.done);
+  EXPECT_EQ(holder.response->status, 200);
+  EXPECT_EQ(high.response->status, 200);
+  EXPECT_TRUE(is_shed_503(low));
+  EXPECT_EQ(low.response->headers.get_or(http::headers::Id::kShedReason, ""),
+            "preempted");
+  const AdmissionController* admission =
+      server_sidecars_[0]->admission_controller();
+  ASSERT_NE(admission, nullptr);
+  EXPECT_EQ(admission->counters().shed_preempted, 1u);
+}
+
+TEST_F(AdmissionFixture, DeadlineAbandonedSpanStillClosesUnderOverload) {
+  MeshPolicies policies;
+  policies.request_timeout = sim::milliseconds(200);
+  policies.admission = pinned_admission(1, 4);
+  build(1, policies, [](const http::HttpRequest&, int) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::seconds(5);  // far past every deadline
+    plan.response_bytes = 8;
+    return plan;
+  });
+
+  Pending first;
+  Pending queued;
+  send("server", "/slow", &first);
+  run_for(sim::milliseconds(10));
+  send("server", "/queued", &queued);
+  run_for(sim::seconds(6));  // past the handler, so the queue drains too
+
+  // Both requests hit the client-side deadline; the PR-4 abandoned-span
+  // path must export error spans pinned to the deadline even when the
+  // request died queued behind an admission slot.
+  ASSERT_TRUE(first.done && queued.done);
+  EXPECT_EQ(first.response->status, 504);
+  EXPECT_EQ(queued.response->status, 504);
+  int error_spans = 0;
+  for (const Span& span : control_plane_->tracer().spans()) {
+    if (span.service != "client" || !span.error) continue;
+    ++error_spans;
+    EXPECT_GE(span.duration(), sim::milliseconds(200));
+    EXPECT_LT(span.duration(), sim::seconds(1));
+  }
+  EXPECT_EQ(error_spans, 2);
+
+  // The queued request's deadline passed before a slot freed: admission
+  // sheds it at dequeue instead of wasting the slot on a dead request.
+  const AdmissionController* admission =
+      server_sidecars_[0]->admission_controller();
+  ASSERT_NE(admission, nullptr);
+  EXPECT_GE(admission->counters().shed_deadline, 1u);
+  EXPECT_EQ(admission->counters().accepted, 1u);
 }
 
 }  // namespace

@@ -306,6 +306,58 @@ TEST(SweepRunnerDeterminism, Fig4At40RpsBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The OVERLOAD experiment joins the determinism suite: a short 2x-knee
+// sweep (admission on and off) must be bit-identical — every scalar,
+// counter, histogram bucket and snapshot series — at any thread count.
+
+SweepResult run_overload_sweep(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  SweepRunner runner(options);
+  for (const bool admission : {true, false}) {
+    runner.add({{"load", "2.0x"}, {"admission", admission ? "on" : "off"}},
+               [admission] {
+                 OverloadExperimentConfig config;
+                 config.load_factor = 2.0;
+                 config.admission = admission;
+                 config.warmup = sim::seconds(1);
+                 config.duration = sim::seconds(3);
+                 config.cooldown = sim::seconds(1);
+                 config.seed = 42;
+                 return overload_point_metrics(
+                     run_overload_experiment(config));
+               });
+  }
+  return runner.run();
+}
+
+TEST(OverloadDeterminism, TwoXKneeBitIdenticalAcrossThreadCounts) {
+  const SweepResult serial = run_overload_sweep(1);
+  ASSERT_EQ(serial.points.size(), 2u);
+  // The admission-on arm actually exercises the subsystem under test:
+  // LS completes, the shedding lands on LI, and the admission_* series
+  // reach the unified snapshot.
+  const PointMetrics& on = serial.points[0].metrics;
+  EXPECT_GT(on.counters.at("ls_completed"), 0u);
+  EXPECT_GT(on.counters.at("li_shed"), 0u);
+  EXPECT_EQ(on.counters.at("ls_shed"), 0u);
+  ASSERT_FALSE(on.snapshot.empty());
+  const obs::SeriesSnapshot* shed = on.snapshot.find(
+      "admission_shed_total",
+      {{"service", "frontend"},
+       {"class", "scavenger"},
+       {"reason", "queue-full"}});
+  ASSERT_NE(shed, nullptr);
+  EXPECT_GT(shed->counter, 0u);
+
+  for (const int threads : {4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SweepResult parallel = run_overload_sweep(threads);
+    EXPECT_EQ(parallel.threads_used, threads);
+    expect_identical_sweeps(serial, parallel);
+  }
+}
+
 TEST(SweepRunner, ResultsArriveInInputOrderAndReportIsStable) {
   SweepOptions options;
   options.threads = 4;
