@@ -4,12 +4,17 @@
 
 namespace meshnet::cluster {
 
+void ServiceRegistry::bump_version() {
+  ++version_;
+  if (change_listener_) change_listener_(version_);
+}
+
 void ServiceRegistry::register_service(const std::string& name,
                                        net::Port port) {
   ServiceInfo& info = services_[name];
   info.name = name;
   info.port = port;
-  ++version_;
+  bump_version();
 }
 
 void ServiceRegistry::add_endpoint(const std::string& service,
@@ -26,7 +31,7 @@ void ServiceRegistry::add_endpoint(const std::string& service,
   } else {
     info.endpoints.push_back(std::move(endpoint));
   }
-  ++version_;
+  bump_version();
 }
 
 bool ServiceRegistry::remove_endpoint(const std::string& service,
@@ -40,7 +45,7 @@ bool ServiceRegistry::remove_endpoint(const std::string& service,
                 [&](const Endpoint& e) { return e.pod_name == pod_name; }),
             eps.end());
   if (eps.size() != before) {
-    ++version_;
+    bump_version();
     return true;
   }
   return false;

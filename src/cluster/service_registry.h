@@ -6,6 +6,7 @@
 // updates to sidecars, the way Istio's pilot consumes the Kubernetes API.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -57,9 +58,20 @@ class ServiceRegistry {
   /// poll this to decide when to push.
   std::uint64_t version() const noexcept { return version_; }
 
+  /// Fires after every version bump with the new version. The control
+  /// plane uses this to timestamp discovery churn (staleness accounting)
+  /// even while it is crashed — the watch channel is the cluster's, not
+  /// the control plane's. One listener; set empty to clear.
+  void set_change_listener(std::function<void(std::uint64_t version)> fn) {
+    change_listener_ = std::move(fn);
+  }
+
  private:
+  void bump_version();
+
   std::map<std::string, ServiceInfo> services_;
   std::uint64_t version_ = 0;
+  std::function<void(std::uint64_t)> change_listener_;
 };
 
 }  // namespace meshnet::cluster

@@ -22,6 +22,14 @@ std::string_view fault_action_name(FaultAction action) noexcept {
       return "deregister";
     case FaultAction::kDegradePod:
       return "degrade";
+    case FaultAction::kCpCrash:
+      return "cp-crash";
+    case FaultAction::kCpRestart:
+      return "cp-restart";
+    case FaultAction::kCpPartition:
+      return "cp-partition";
+    case FaultAction::kCpPushLoss:
+      return "cp-push-loss";
   }
   return "?";
 }
@@ -74,6 +82,36 @@ FaultPlan& FaultPlan::flap(sim::Time from, sim::Time until, std::string pod,
   return *this;
 }
 
+FaultPlan& FaultPlan::cp_crash(sim::Time at) {
+  entries_.push_back({at, FaultAction::kCpCrash, {}, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cp_restart(sim::Time at) {
+  entries_.push_back({at, FaultAction::kCpRestart, {}, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cp_outage(sim::Time from, sim::Time until) {
+  cp_crash(from);
+  cp_restart(until);
+  return *this;
+}
+
+FaultPlan& FaultPlan::cp_partition(sim::Time from, sim::Time until,
+                                   std::string pod) {
+  entries_.push_back({from, FaultAction::kCpPartition, pod, 1.0});
+  entries_.push_back({until, FaultAction::kCpPartition, std::move(pod), 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::cp_push_loss(sim::Time from, sim::Time until,
+                                   double probability) {
+  entries_.push_back({from, FaultAction::kCpPushLoss, {}, probability});
+  entries_.push_back({until, FaultAction::kCpPushLoss, {}, 0.0});
+  return *this;
+}
+
 ChaosController::ChaosController(sim::Simulator& sim,
                                  cluster::Cluster& cluster, std::uint64_t seed)
     : sim_(sim), cluster_(cluster), seed_(seed) {}
@@ -117,37 +155,28 @@ bool ChaosController::degrade_pod(const std::string& pod, double multiplier) {
 bool ChaosController::execute(FaultAction action, const std::string& target,
                               double value) {
   bool applied = false;
-  cluster::Pod* pod = cluster_.find_pod(target);
-  if (pod != nullptr) {
-    switch (action) {
-      case FaultAction::kLinkDown:
-        pod->egress_link().set_up(false);
-        pod->ingress_link().set_up(false);
-        applied = true;
-        break;
-      case FaultAction::kLinkUp:
-        pod->egress_link().set_up(true);
-        pod->ingress_link().set_up(true);
-        applied = true;
-        break;
-      case FaultAction::kLinkLoss:
-        pod->egress_link().set_loss(value, seed_);
-        pod->ingress_link().set_loss(value, seed_);
-        applied = true;
-        break;
-      case FaultAction::kCrashPod:
-        applied = cluster_.crash_pod(target);
-        break;
-      case FaultAction::kRestartPod:
-        applied = cluster_.restart_pod(target);
-        break;
-      case FaultAction::kDeregisterPod:
-        applied = cluster_.deregister_pod(target);
-        break;
-      case FaultAction::kDegradePod:
-        pod->set_compute_multiplier(value);
-        applied = true;
-        break;
+  // Control-plane actions have no pod; dispatch before the pod lookup.
+  switch (action) {
+    case FaultAction::kCpCrash:
+      if (cp_hooks_.crash) applied = cp_hooks_.crash();
+      break;
+    case FaultAction::kCpRestart:
+      if (cp_hooks_.restart) applied = cp_hooks_.restart();
+      break;
+    case FaultAction::kCpPartition:
+      if (cp_hooks_.set_partitioned)
+        applied = cp_hooks_.set_partitioned(target, value != 0.0);
+      break;
+    case FaultAction::kCpPushLoss:
+      if (cp_hooks_.set_push_loss)
+        applied = cp_hooks_.set_push_loss(value);
+      break;
+    default: {
+      cluster::Pod* pod = cluster_.find_pod(target);
+      if (pod != nullptr) {
+        applied = execute_pod_fault(*pod, action, target, value);
+      }
+      break;
     }
   }
   FaultLogEntry logged{sim_.now(), action, target, value, applied};
@@ -158,6 +187,36 @@ bool ChaosController::execute(FaultAction action, const std::string& target,
   log_.push_back(logged);
   if (hook_) hook_(log_.back());
   return applied;
+}
+
+bool ChaosController::execute_pod_fault(cluster::Pod& pod, FaultAction action,
+                                        const std::string& target,
+                                        double value) {
+  switch (action) {
+    case FaultAction::kLinkDown:
+      pod.egress_link().set_up(false);
+      pod.ingress_link().set_up(false);
+      return true;
+    case FaultAction::kLinkUp:
+      pod.egress_link().set_up(true);
+      pod.ingress_link().set_up(true);
+      return true;
+    case FaultAction::kLinkLoss:
+      pod.egress_link().set_loss(value, seed_);
+      pod.ingress_link().set_loss(value, seed_);
+      return true;
+    case FaultAction::kCrashPod:
+      return cluster_.crash_pod(target);
+    case FaultAction::kRestartPod:
+      return cluster_.restart_pod(target);
+    case FaultAction::kDeregisterPod:
+      return cluster_.deregister_pod(target);
+    case FaultAction::kDegradePod:
+      pod.set_compute_multiplier(value);
+      return true;
+    default:
+      return false;  // CP actions never reach here
+  }
 }
 
 }  // namespace meshnet::faults

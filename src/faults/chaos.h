@@ -39,6 +39,13 @@ enum class FaultAction {
   kRestartPod,
   kDeregisterPod,
   kDegradePod,  ///< value = compute multiplier (1.0 restores)
+  // Control-plane faults. faults/ never sees mesh/, so these dispatch
+  // through hooks the experiment layer registers (see CpHooks); without
+  // hooks they log as not-applied.
+  kCpCrash,      ///< control plane goes down (target unused)
+  kCpRestart,    ///< control plane recovers (target unused)
+  kCpPartition,  ///< target = pod; value 1 partitions, 0 heals
+  kCpPushLoss,   ///< value = push-channel loss probability (0 clears)
 };
 
 std::string_view fault_action_name(FaultAction action) noexcept;
@@ -70,6 +77,15 @@ class FaultPlan {
   /// ... while before `until`, staying down for `downtime` each cycle.
   FaultPlan& flap(sim::Time from, sim::Time until, std::string pod,
                   sim::Duration period, sim::Duration downtime);
+  FaultPlan& cp_crash(sim::Time at);
+  FaultPlan& cp_restart(sim::Time at);
+  /// Control plane down during [from, until).
+  FaultPlan& cp_outage(sim::Time from, sim::Time until);
+  /// One sidecar partitioned from the control plane during [from, until).
+  FaultPlan& cp_partition(sim::Time from, sim::Time until, std::string pod);
+  /// Push-channel loss during [from, until).
+  FaultPlan& cp_push_loss(sim::Time from, sim::Time until,
+                          double probability);
 
   const std::vector<FaultEntry>& entries() const noexcept { return entries_; }
   bool empty() const noexcept { return entries_.empty(); }
@@ -85,6 +101,17 @@ struct FaultLogEntry {
   std::string target;
   double value = 0.0;
   bool applied = false;
+};
+
+/// Control-plane fault surface. faults/ cannot depend on mesh/, so the
+/// experiment layer (which sees both) wires these to mesh::ControlPlane;
+/// a CP fault with no hook registered logs as not-applied.
+struct CpHooks {
+  std::function<bool()> crash;
+  std::function<bool()> restart;
+  /// (pod, partitioned) — partition one sidecar from the control plane.
+  std::function<bool(const std::string&, bool)> set_partitioned;
+  std::function<bool(double)> set_push_loss;
 };
 
 class ChaosController {
@@ -112,6 +139,7 @@ class ChaosController {
   bool degrade_pod(const std::string& pod, double multiplier);
 
   void set_fault_hook(FaultHook hook) { hook_ = std::move(hook); }
+  void set_control_plane_hooks(CpHooks hooks) { cp_hooks_ = std::move(hooks); }
 
   /// Chronological record of every executed action — the determinism
   /// contract: same seed + same plan => identical log.
@@ -120,11 +148,14 @@ class ChaosController {
 
  private:
   bool execute(FaultAction action, const std::string& target, double value);
+  bool execute_pod_fault(cluster::Pod& pod, FaultAction action,
+                         const std::string& target, double value);
 
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
   std::uint64_t seed_;
   FaultHook hook_;
+  CpHooks cp_hooks_;
   std::vector<FaultLogEntry> log_;
 };
 

@@ -1,5 +1,6 @@
 #include "mesh/control_plane.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "mesh/admission.h"
@@ -10,9 +11,32 @@ namespace meshnet::mesh {
 
 ControlPlane::ControlPlane(sim::Simulator& sim, cluster::Cluster& cluster,
                            MeshPolicies policies)
-    : sim_(sim), cluster_(cluster), policies_(std::move(policies)) {
+    : sim_(sim),
+      cluster_(cluster),
+      policies_(std::move(policies)),
+      push_rng_(0xc0de, "cp:push"),
+      pace_rng_(0xc0de, "cp:pace") {
   telemetry_.access_log().set_sample_every(
       policies_.access_log_sample_every);
+  cpm_.attempts = &registry_.counter("cp_push_attempts_total");
+  cpm_.acks = &registry_.counter("cp_push_acks_total");
+  cpm_.nacks = &registry_.counter("cp_push_nacks_total");
+  cpm_.retries = &registry_.counter("cp_push_retries_total");
+  cpm_.skipped_noop = &registry_.counter("cp_push_skipped_noop");
+  cpm_.dropped = &registry_.counter("cp_push_dropped_total");
+  cpm_.rollbacks = &registry_.counter("cp_config_rollbacks_total");
+  cpm_.cert_rotations = &registry_.counter("cp_cert_rotations_total");
+  cpm_.crashes = &registry_.counter("cp_crashes_total");
+  cpm_.recoveries = &registry_.counter("cp_recoveries_total");
+  cpm_.epoch = &registry_.gauge("config_epoch");
+  cpm_.stale = &registry_.gauge("cp_sidecars_stale");
+  cpm_.reconverge_ms = &registry_.gauge("cp_reconverge_ms");
+  // Staleness accounting rides the cluster's watch channel, not the
+  // control plane's poll loop, so discovery churn is timestamped even
+  // while the control plane is crashed.
+  cluster_.registry().set_change_listener([this](std::uint64_t) {
+    if (pending_change_since_ == 0) pending_change_since_ = sim_.now();
+  });
 }
 
 Sidecar& ControlPlane::inject_sidecar(cluster::Pod& pod,
@@ -47,7 +71,16 @@ Sidecar& ControlPlane::inject_sidecar(cluster::Pod& pod,
       std::make_shared<SourceIdentityFilter>(service));
 
   issue_certificate(service);
-  ref.apply_config(compile_config(ref));
+  SidecarConfig compiled = compile_config(ref);
+  const std::uint64_t hash = hash_sidecar_config(compiled);
+  const std::uint64_t compiled_epoch = compiled.epoch;
+  if (ref.apply_config(std::move(compiled))) {
+    // Injection is a local, synchronous bootstrap push: seed the channel
+    // state so the next broadcast can skip this sidecar if unchanged.
+    PushState& state = push_state_[pod.name()];
+    state.acked_epoch = compiled_epoch;
+    state.acked_hash = hash;
+  }
   ref.start();
   return ref;
 }
@@ -57,31 +90,376 @@ void ControlPlane::start(sim::Duration poll_interval) {
   started_ = true;
   poll_interval_ = poll_interval;
   push_config();
-  sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
+  poll_timer_ =
+      sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
 }
 
 void ControlPlane::poll_registry() {
+  poll_timer_ = sim::kInvalidEventId;
+  if (crashed_) return;
   if (cluster_.registry().version() != last_registry_version_) {
     push_config();
   }
-  sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
+  update_staleness_gauges();
+  poll_timer_ =
+      sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
+}
+
+void ControlPlane::begin_epoch() {
+  ++epoch_;
+  ++pushes_;
+  last_registry_version_ = cluster_.registry().version();
+  pending_change_since_ = 0;
+  cpm_.epoch->set(static_cast<double>(epoch_));
+  telemetry_.access_log().set_sample_every(
+      policies_.access_log_sample_every);
 }
 
 void ControlPlane::push_config() {
-  last_registry_version_ = cluster_.registry().version();
-  telemetry_.access_log().set_sample_every(
-      policies_.access_log_sample_every);
+  if (crashed_) return;
+  begin_epoch();
   for (const auto& sidecar : sidecars_) {
-    sidecar->apply_config(compile_config(*sidecar));
+    launch_push(*sidecar);
   }
-  ++pushes_;
-  MESHNET_DEBUG() << "control plane push #" << pushes_ << " (registry v"
-                  << last_registry_version_ << ")";
+  MESHNET_DEBUG() << "control plane push #" << pushes_ << " epoch "
+                  << epoch_ << " (registry v" << last_registry_version_
+                  << ")";
+}
+
+void ControlPlane::launch_push(Sidecar& sidecar) {
+  const std::string pod = sidecar.pod().name();
+  PushState& state = push_state_[pod];
+  cancel_push_timers(state);
+
+  SidecarConfig config = compile_config(sidecar);
+  const std::uint64_t hash = hash_sidecar_config(config);
+  if (state.acked_hash != 0 && hash == state.acked_hash) {
+    // Delta-aware push: the compiled payload is byte-identical to what
+    // the sidecar already runs, so the new epoch is acked implicitly.
+    state.acked_epoch = std::max(state.acked_epoch, config.epoch);
+    registry_.gauge("sidecar_config_epoch", {{"pod", pod}})
+        .set(static_cast<double>(state.acked_epoch));
+    cpm_.skipped_noop->inc();
+    check_convergence();
+    return;
+  }
+
+  cpm_.attempts->inc();
+  if (state.partitioned || !sidecar.pod().running()) {
+    // Unreachable sidecar: the push is dropped on the floor and the
+    // retry loop keeps revalidating until the partition heals or the
+    // pod comes back.
+    cpm_.dropped->inc();
+    schedule_retry(pod);
+    return;
+  }
+
+  const ControlPlaneConfig& cp = policies_.cp;
+  const bool lost = cp.push_loss > 0.0 && push_rng_.uniform() < cp.push_loss;
+  sim::Duration latency = cp.push_latency_base;
+  if (cp.push_latency_jitter > 0) {
+    latency += static_cast<sim::Duration>(
+        push_rng_.uniform() * static_cast<double>(cp.push_latency_jitter));
+  }
+  if (lost) {
+    // Swallowed by the channel; the ack timeout notices and retries.
+    state.ack_timer = sim_.schedule_after(cp.ack_timeout, [this, pod] {
+      const auto it = push_state_.find(pod);
+      if (it == push_state_.end()) return;
+      it->second.ack_timer = sim::kInvalidEventId;
+      schedule_retry(pod);
+    });
+    return;
+  }
+  if (latency <= 0) {
+    // Legacy inline path: zero-latency channel, synchronous apply + ack.
+    deliver_push(pod, std::move(config), hash);
+    return;
+  }
+  state.delivery_timer = sim_.schedule_after(
+      latency, [this, pod, config = std::move(config), hash]() mutable {
+        const auto it = push_state_.find(pod);
+        if (it == push_state_.end()) return;
+        it->second.delivery_timer = sim::kInvalidEventId;
+        deliver_push(pod, std::move(config), hash);
+      });
+  state.ack_timer = sim_.schedule_after(cp.ack_timeout, [this, pod] {
+    const auto it = push_state_.find(pod);
+    if (it == push_state_.end()) return;
+    it->second.ack_timer = sim::kInvalidEventId;
+    schedule_retry(pod);
+  });
+}
+
+void ControlPlane::deliver_push(const std::string& pod_name,
+                                SidecarConfig config, std::uint64_t hash) {
+  Sidecar* sidecar = sidecar_for(pod_name);
+  if (sidecar == nullptr) return;
+  const std::uint64_t config_epoch = config.epoch;
+  if (sidecar->apply_config(std::move(config))) {
+    handle_ack(pod_name, config_epoch, hash);
+  } else {
+    handle_nack(pod_name, config_epoch, sidecar->last_config_error());
+  }
+}
+
+void ControlPlane::handle_ack(const std::string& pod_name,
+                              std::uint64_t acked_epoch, std::uint64_t hash) {
+  if (crashed_) return;  // acks into a dead control plane are lost
+  PushState& state = push_state_[pod_name];
+  if (state.ack_timer != sim::kInvalidEventId) {
+    sim_.cancel(state.ack_timer);
+    state.ack_timer = sim::kInvalidEventId;
+  }
+  state.attempt = 0;
+  state.prev_backoff = 0;
+  if (acked_epoch >= state.acked_epoch) {
+    state.acked_epoch = acked_epoch;
+    state.acked_hash = hash;
+  }
+  registry_.gauge("sidecar_config_epoch", {{"pod", pod_name}})
+      .set(static_cast<double>(state.acked_epoch));
+  cpm_.acks->inc();
+  check_convergence();
+}
+
+void ControlPlane::handle_nack(const std::string& pod_name,
+                               std::uint64_t nacked_epoch,
+                               const std::string& reason) {
+  if (crashed_) return;
+  PushState& state = push_state_[pod_name];
+  if (state.ack_timer != sim::kInvalidEventId) {
+    sim_.cancel(state.ack_timer);
+    state.ack_timer = sim::kInvalidEventId;
+  }
+  if (reason == "stale-epoch") {
+    // A superseded push raced a newer one; the newer epoch is already in
+    // flight, so there is nothing to repair.
+    return;
+  }
+  cpm_.nacks->inc();
+  record_event(obs::EventKind::kControlPlane, "push:" + pod_name,
+               "nack: " + reason);
+  if (nacked_epoch == epoch_ && rollback_armed_ &&
+      nacked_epoch > rolled_back_epoch_) {
+    // Poison config: the sidecar kept its last-good snapshot; restore the
+    // last converged policy set and push a fresh (still monotonic) epoch.
+    rolled_back_epoch_ = nacked_epoch;
+    rollback_armed_ = false;
+    compile_mutator_ = nullptr;
+    if (have_last_good_) {
+      // Runtime channel settings (loss overrides, pacing) survive the
+      // rollback; only the operator policy payload reverts.
+      ControlPlaneConfig cp = policies_.cp;
+      policies_ = last_good_policies_;
+      policies_.cp = cp;
+    }
+    cpm_.rollbacks->inc();
+    record_event(obs::EventKind::kControlPlane, "control-plane",
+                 "rollback to last-good epoch");
+    push_config();
+  } else {
+    schedule_retry(pod_name);
+  }
+}
+
+void ControlPlane::schedule_retry(const std::string& pod_name) {
+  if (crashed_) return;
+  PushState& state = push_state_[pod_name];
+  if (state.retry_timer != sim::kInvalidEventId) return;
+  ++state.attempt;
+  RetryPolicy backoff;
+  backoff.backoff_base = policies_.cp.retry_backoff_base;
+  backoff.backoff_max = policies_.cp.retry_backoff_max;
+  backoff.backoff_jitter = true;
+  const sim::Duration sleep =
+      next_retry_backoff(backoff, state.attempt, state.prev_backoff,
+                         push_rng_);
+  state.prev_backoff = sleep;
+  cpm_.retries->inc();
+  state.retry_timer = sim_.schedule_after(sleep, [this, pod_name] {
+    const auto it = push_state_.find(pod_name);
+    if (it == push_state_.end()) return;
+    it->second.retry_timer = sim::kInvalidEventId;
+    if (crashed_) return;
+    Sidecar* sidecar = sidecar_for(pod_name);
+    if (sidecar != nullptr) launch_push(*sidecar);
+  });
+}
+
+void ControlPlane::cancel_push_timers(PushState& state) {
+  for (sim::EventId* timer :
+       {&state.delivery_timer, &state.ack_timer, &state.retry_timer}) {
+    if (*timer != sim::kInvalidEventId) {
+      sim_.cancel(*timer);
+      *timer = sim::kInvalidEventId;
+    }
+  }
+}
+
+void ControlPlane::check_convergence() {
+  if (crashed_) return;
+  std::size_t stale = 0;
+  bool all_current = true;
+  for (const auto& sidecar : sidecars_) {
+    const auto it = push_state_.find(sidecar->pod().name());
+    const std::uint64_t acked =
+        it == push_state_.end() ? 0 : it->second.acked_epoch;
+    if (acked != epoch_) {
+      ++stale;
+      if (sidecar->pod().running()) all_current = false;
+    }
+  }
+  cpm_.stale->set(static_cast<double>(stale));
+  if (!all_current || epoch_ == 0) return;
+  // Converged: every running sidecar runs the current epoch. This policy
+  // set is proven good — it becomes the rollback target.
+  last_good_policies_ = policies_;
+  have_last_good_ = true;
+  rollback_armed_ = true;
+  if (pending_reconverge_) {
+    pending_reconverge_ = false;
+    last_reconverge_ = sim_.now() - recovered_at_;
+    cpm_.reconverge_ms->set(sim::to_seconds(last_reconverge_) * 1e3);
+    record_event(obs::EventKind::kControlPlane, "control-plane",
+                 "reconverged after recovery");
+  }
+}
+
+bool ControlPlane::converged() const {
+  if (crashed_) return false;
+  for (const auto& sidecar : sidecars_) {
+    if (!sidecar->pod().running()) continue;
+    const auto it = push_state_.find(sidecar->pod().name());
+    const std::uint64_t acked =
+        it == push_state_.end() ? 0 : it->second.acked_epoch;
+    if (acked != epoch_) return false;
+  }
+  return true;
+}
+
+std::uint64_t ControlPlane::acked_epoch(const std::string& pod_name) const {
+  const auto it = push_state_.find(pod_name);
+  return it == push_state_.end() ? 0 : it->second.acked_epoch;
+}
+
+std::size_t ControlPlane::stale_sidecars() const {
+  std::size_t stale = 0;
+  for (const auto& sidecar : sidecars_) {
+    const auto it = push_state_.find(sidecar->pod().name());
+    const std::uint64_t acked =
+        it == push_state_.end() ? 0 : it->second.acked_epoch;
+    if (acked != epoch_) ++stale;
+  }
+  return stale;
+}
+
+sim::Duration ControlPlane::discovery_staleness() const {
+  return pending_change_since_ == 0 ? 0 : sim_.now() - pending_change_since_;
+}
+
+void ControlPlane::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  cpm_.crashes->inc();
+  record_event(obs::EventKind::kControlPlane, "control-plane", "crash");
+  if (poll_timer_ != sim::kInvalidEventId) {
+    sim_.cancel(poll_timer_);
+    poll_timer_ = sim::kInvalidEventId;
+  }
+  for (auto& [pod, state] : push_state_) cancel_push_timers(state);
+  for (auto& [service, timer] : cert_timers_) sim_.cancel(timer);
+  cert_timers_.clear();
+}
+
+void ControlPlane::recover() {
+  if (!crashed_) return;
+  crashed_ = false;
+  cpm_.recoveries->inc();
+  record_event(obs::EventKind::kControlPlane, "control-plane", "recover");
+  recovered_at_ = sim_.now();
+  pending_reconverge_ = true;
+  // Certificates that lapsed during the outage are re-issued first; live
+  // ones get their rotation timers re-armed.
+  for (auto& [service, cert] : certs_) {
+    if (!cert.valid_at(sim_.now())) {
+      issue_certificate(service);
+      cpm_.cert_rotations->inc();
+    } else {
+      schedule_cert_rotation(service);
+    }
+  }
+  if (started_) {
+    poll_timer_ =
+        sim_.schedule_after(poll_interval_, [this] { poll_registry(); });
+  }
+  // Paced, jittered reconvergence: sidecar i's push launches at
+  // i * pacing + uniform(0, pacing), so a mesh-wide resync is a ramp,
+  // not a thundering herd.
+  begin_epoch();
+  const sim::Duration pacing = policies_.cp.reconverge_pacing;
+  for (std::size_t i = 0; i < sidecars_.size(); ++i) {
+    Sidecar& sidecar = *sidecars_[i];
+    const std::string pod = sidecar.pod().name();
+    sim::Duration delay = static_cast<sim::Duration>(i) * pacing;
+    if (pacing > 0) {
+      delay += static_cast<sim::Duration>(pace_rng_.uniform() *
+                                          static_cast<double>(pacing));
+    }
+    if (delay <= 0) {
+      launch_push(sidecar);
+      continue;
+    }
+    PushState& state = push_state_[pod];
+    cancel_push_timers(state);
+    state.retry_timer = sim_.schedule_after(delay, [this, pod] {
+      const auto it = push_state_.find(pod);
+      if (it == push_state_.end()) return;
+      it->second.retry_timer = sim::kInvalidEventId;
+      if (crashed_) return;
+      Sidecar* sidecar = sidecar_for(pod);
+      if (sidecar != nullptr) launch_push(*sidecar);
+    });
+  }
+}
+
+void ControlPlane::set_partitioned(const std::string& pod_name,
+                                   bool partitioned) {
+  PushState& state = push_state_[pod_name];
+  if (state.partitioned == partitioned) return;
+  state.partitioned = partitioned;
+  record_event(obs::EventKind::kControlPlane, "push:" + pod_name,
+               partitioned ? "partitioned" : "healed");
+  if (!partitioned && !crashed_ && state.acked_epoch < epoch_) {
+    // Healed while stale: revalidate immediately.
+    Sidecar* sidecar = sidecar_for(pod_name);
+    if (sidecar != nullptr) launch_push(*sidecar);
+  }
+}
+
+void ControlPlane::set_push_loss(double probability) {
+  policies_.cp.push_loss = std::clamp(probability, 0.0, 1.0);
+}
+
+void ControlPlane::update_staleness_gauges() {
+  registry_.gauge("cp_discovery_staleness_ms")
+      .set(sim::to_seconds(discovery_staleness()) * 1e3);
+  for (const auto& [service, cert] : certs_) {
+    const double seconds =
+        cert.expires_at > sim_.now()
+            ? sim::to_seconds(cert.expires_at - sim_.now())
+            : 0.0;
+    registry_.gauge("cert_seconds_to_expiry", {{"service", service}})
+        .set(seconds);
+  }
 }
 
 SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
   SidecarConfig config;
   config.service_name = sidecar.config().service_name;
+  config.epoch = epoch_;
+  const auto cert_it = certs_.find(config.service_name);
+  if (cert_it != certs_.end()) config.identity_cert = cert_it->second;
   config.retry = policies_.retry;
   config.request_timeout = policies_.request_timeout;
   config.admission = policies_.admission;
@@ -104,6 +482,7 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
     if (lb_it != policies_.lb_overrides.end()) spec.lb = lb_it->second;
     config.clusters.emplace(info->name, std::move(spec));
   }
+  if (compile_mutator_) compile_mutator_(sidecar.pod().name(), config);
   return config;
 }
 
@@ -113,7 +492,61 @@ Certificate ControlPlane::issue_certificate(const std::string& service) {
   cert.spiffe_id = "spiffe://cluster.local/ns/default/sa/" + service;
   cert.issued_at = sim_.now();
   cert.expires_at = sim_.now() + policies_.certificate_lifetime;
+  certs_[service] = cert;
+  registry_.gauge("cert_seconds_to_expiry", {{"service", service}})
+      .set(sim::to_seconds(policies_.certificate_lifetime));
+  schedule_cert_rotation(service);
   return cert;
+}
+
+void ControlPlane::schedule_cert_rotation(const std::string& service) {
+  const double ahead = policies_.cp.cert_refresh_ahead;
+  if (ahead <= 0.0 || crashed_) return;
+  const auto it = certs_.find(service);
+  if (it == certs_.end()) return;
+  const auto timer_it = cert_timers_.find(service);
+  if (timer_it != cert_timers_.end()) {
+    sim_.cancel(timer_it->second);
+    cert_timers_.erase(timer_it);
+  }
+  const auto refresh_margin = static_cast<sim::Duration>(
+      ahead * static_cast<double>(policies_.certificate_lifetime));
+  // Deterministic per-service splay (up to half the refresh margin) so
+  // rotations issued at the same instant — e.g. the re-issue burst at
+  // control-plane recovery — do not renew as a synchronized thundering
+  // herd forever after.
+  std::uint64_t splay_hash = 1469598103934665603ull;
+  for (const char c : service) {
+    splay_hash = (splay_hash ^ static_cast<unsigned char>(c)) *
+                 1099511628211ull;
+  }
+  const auto splay = static_cast<sim::Duration>(
+      static_cast<double>(splay_hash % 1024) / 2048.0 *
+      static_cast<double>(refresh_margin));
+  const sim::Time rotate_at = it->second.expires_at - refresh_margin + splay;
+  const sim::Duration delay = std::max<sim::Duration>(0, rotate_at - sim_.now());
+  cert_timers_[service] = sim_.schedule_after(delay, [this, service] {
+    cert_timers_.erase(service);
+    if (crashed_) return;
+    issue_certificate(service);
+    cpm_.cert_rotations->inc();
+    record_event(obs::EventKind::kControlPlane, "cert:" + service,
+                 "rotated");
+    // The new serial changes the affected sidecars' config fingerprint;
+    // the delta-aware push delivers only to them.
+    push_config();
+  });
+}
+
+void ControlPlane::record_event(obs::EventKind kind,
+                                const std::string& subject,
+                                const std::string& detail) {
+  telemetry_.record_event(sim_.now(), kind, subject, detail);
+}
+
+const Certificate* ControlPlane::certificate(const std::string& service) const {
+  const auto it = certs_.find(service);
+  return it == certs_.end() ? nullptr : &it->second;
 }
 
 Sidecar* ControlPlane::sidecar_for(const std::string& pod_name) {

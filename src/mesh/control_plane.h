@@ -6,6 +6,20 @@
 // (watching the cluster's ServiceRegistry by version), certificate
 // issuance, the tracer, and the telemetry sink — the boxes in the paper's
 // Fig. 1.
+//
+// Config distribution is failure-aware. Every push round mints a config
+// *epoch* (monotonic, never reused); each sidecar's compiled config is
+// fingerprinted so unchanged sidecars are skipped (delta-aware push), and
+// delivered pushes are acked per sidecar. A push can be delayed, lost, or
+// dropped (crash / partition); an un-acked push is retried with
+// decorrelated-jitter backoff until the sidecar acks the current epoch.
+// Sidecars that nack a push (validation failure — a poison config) keep
+// their last-good config and the control plane rolls policy back to the
+// last converged snapshot and pushes a fresh epoch. While the control
+// plane is crashed the data plane serves stale-while-revalidate: last
+// pushed endpoints keep routing, health checking keeps narrowing choice,
+// and on recovery the control plane reconverges with paced, jittered
+// pushes rather than a thundering herd.
 
 #include <cstdint>
 #include <map>
@@ -21,18 +35,30 @@
 
 namespace meshnet::mesh {
 
-/// A workload identity certificate (SPIFFE-flavoured). The simulation
-/// does not encrypt bytes, but identity issuance/rotation is modelled so
-/// policy has something real to hang off.
-struct Certificate {
-  std::uint64_t serial = 0;
-  std::string spiffe_id;  ///< "spiffe://cluster.local/ns/default/sa/<svc>"
-  sim::Time issued_at = 0;
-  sim::Time expires_at = 0;
-
-  bool valid_at(sim::Time now) const noexcept {
-    return now >= issued_at && now < expires_at;
-  }
+/// Tunables for the failure-aware push channel. The defaults (zero
+/// latency, zero loss, no partitions) deliver pushes inline and
+/// synchronously — the legacy semantics every existing test relies on.
+struct ControlPlaneConfig {
+  /// Per-push one-way delivery latency: base + uniform(0, jitter).
+  /// 0 base and 0 jitter short-circuits the simulated channel and
+  /// applies the config inline.
+  sim::Duration push_latency_base = 0;
+  sim::Duration push_latency_jitter = 0;
+  /// A push whose ack has not arrived within this window is presumed
+  /// lost and retried.
+  sim::Duration ack_timeout = sim::milliseconds(500);
+  /// Decorrelated-jitter backoff bounds for push retries.
+  sim::Duration retry_backoff_base = sim::milliseconds(50);
+  sim::Duration retry_backoff_max = sim::seconds(2);
+  /// Post-recovery reconvergence: sidecar i's push launches at
+  /// i * pacing + uniform(0, pacing) instead of all at once.
+  sim::Duration reconverge_pacing = sim::milliseconds(20);
+  /// Probability that a push round-trip is lost in the channel.
+  double push_loss = 0.0;
+  /// Certificate refresh-ahead fraction: re-issue when this fraction of
+  /// the lifetime remains (e.g. 0.2 rotates at 80% of lifetime). 0
+  /// disables rotation — certs are issued once, at injection.
+  double cert_refresh_ahead = 0.0;
 };
 
 /// Operator-defined, mesh-wide policy.
@@ -59,6 +85,8 @@ struct MeshPolicies {
   /// Sidecar access logging: keep one structured record per N proxied
   /// requests (0 = off). See obs::AccessLog.
   std::uint64_t access_log_sample_every = 0;
+  /// Push-channel failure model and cert-rotation policy.
+  ControlPlaneConfig cp;
   /// Propagated into every sidecar's config on push (see SidecarConfig).
   std::function<void(transport::Connection&, TrafficClass)>
       upstream_connection_hook;
@@ -83,14 +111,66 @@ class ControlPlane {
 
   /// Begins watching the service registry; on every version change the
   /// control plane re-pushes config to all sidecars. `poll_interval`
-  /// models xDS push latency.
+  /// models xDS discovery latency.
   void start(sim::Duration poll_interval = sim::milliseconds(100));
 
-  /// Immediately recompiles and pushes config to every sidecar.
+  /// Mints a new config epoch and launches a push to every sidecar
+  /// (delta-aware: sidecars whose compiled config is unchanged are
+  /// skipped and implicitly acked).
   void push_config();
 
-  /// Issues (or rotates) a certificate for a service identity.
+  /// Issues (or rotates) a certificate for a service identity. The cert
+  /// is retained; rotation reaches sidecars on the next config push.
   Certificate issue_certificate(const std::string& service);
+
+  // --- failure model -----------------------------------------------------
+
+  /// Stops polling, cancels every pending push/retry/rotation timer and
+  /// ignores in-flight acks: the control plane is down. The data plane
+  /// keeps serving its last-applied config.
+  void crash();
+  /// Restarts after a crash: resumes polling, re-issues expired certs
+  /// and reconverges the mesh with paced, jittered pushes.
+  void recover();
+  bool crashed() const noexcept { return crashed_; }
+
+  /// Partitions one sidecar from the control plane (pushes to it are
+  /// dropped until healed). Healing relaunches a push if it is stale.
+  void set_partitioned(const std::string& pod_name, bool partitioned);
+
+  /// Overrides the push-channel loss probability at runtime.
+  void set_push_loss(double probability);
+
+  // --- convergence introspection -----------------------------------------
+
+  /// Current config epoch (0 before the first push).
+  std::uint64_t epoch() const noexcept { return epoch_; }
+  /// True when every running sidecar has acked the current epoch (and
+  /// the control plane is up).
+  bool converged() const;
+  /// Epoch last acked by one sidecar (0 = never acked / unknown pod).
+  std::uint64_t acked_epoch(const std::string& pod_name) const;
+  /// Sidecars not on the current epoch.
+  std::size_t stale_sidecars() const;
+  /// Age of the oldest registry change not yet pushed (0 when caught
+  /// up). Grows without bound while the control plane is crashed — the
+  /// routing-staleness signal the CHAOS_CP experiment samples.
+  sim::Duration discovery_staleness() const;
+  /// Crash-recovery to full convergence, for the most recent recovery
+  /// (0 until a recovery has completed).
+  sim::Duration last_reconverge_duration() const noexcept {
+    return last_reconverge_;
+  }
+
+  /// The current certificate for a service (nullptr before issuance).
+  const Certificate* certificate(const std::string& service) const;
+
+  /// Test hook: mutates each compiled config before it is pushed (poison
+  /// injection). Cleared automatically when a nack triggers rollback.
+  void set_compile_mutator(
+      std::function<void(const std::string& pod, SidecarConfig&)> mutator) {
+    compile_mutator_ = std::move(mutator);
+  }
 
   MeshPolicies& policies() noexcept { return policies_; }
   /// The unified observability registry every mesh surface records into.
@@ -106,8 +186,38 @@ class ControlPlane {
   std::uint64_t pushes() const noexcept { return pushes_; }
 
  private:
+  /// Per-sidecar push channel state, keyed by pod name.
+  struct PushState {
+    std::uint64_t acked_epoch = 0;
+    std::uint64_t acked_hash = 0;  ///< fingerprint of last acked config
+    int attempt = 0;               ///< retries since the last ack
+    sim::Duration prev_backoff = 0;
+    sim::EventId delivery_timer = sim::kInvalidEventId;
+    sim::EventId ack_timer = sim::kInvalidEventId;
+    sim::EventId retry_timer = sim::kInvalidEventId;
+    bool partitioned = false;
+  };
+
   SidecarConfig compile_config(const Sidecar& sidecar) const;
   void poll_registry();
+  /// Mints the next epoch and records the registry version it covers.
+  void begin_epoch();
+  /// Compiles + fingerprints + delivers (or drops) one sidecar's push
+  /// for the current epoch.
+  void launch_push(Sidecar& sidecar);
+  void deliver_push(const std::string& pod_name, SidecarConfig config,
+                    std::uint64_t hash);
+  void handle_ack(const std::string& pod_name, std::uint64_t epoch,
+                  std::uint64_t hash);
+  void handle_nack(const std::string& pod_name, std::uint64_t epoch,
+                   const std::string& reason);
+  void schedule_retry(const std::string& pod_name);
+  void cancel_push_timers(PushState& state);
+  void check_convergence();
+  void update_staleness_gauges();
+  void schedule_cert_rotation(const std::string& service);
+  void record_event(obs::EventKind kind, const std::string& subject,
+                    const std::string& detail);
 
   sim::Simulator& sim_;
   cluster::Cluster& cluster_;
@@ -117,11 +227,53 @@ class ControlPlane {
   Tracer tracer_{&registry_};
   TelemetrySink telemetry_{&registry_};
   std::vector<std::unique_ptr<Sidecar>> sidecars_;
+  std::map<std::string, PushState> push_state_;
+  std::map<std::string, Certificate> certs_;
+  std::map<std::string, sim::EventId> cert_timers_;
+  std::function<void(const std::string&, SidecarConfig&)> compile_mutator_;
+
   std::uint64_t last_registry_version_ = 0;
   std::uint64_t next_serial_ = 1;
   std::uint64_t pushes_ = 0;
+  std::uint64_t epoch_ = 0;
+  /// Epoch whose nack already triggered a rollback (rollback fires at
+  /// most once per poisoned epoch even when several sidecars nack it).
+  std::uint64_t rolled_back_epoch_ = 0;
+  /// A nack may trigger at most one rollback per converged generation,
+  /// so a persistently-invalid input degrades to paced retries instead
+  /// of an unbounded rollback->push->nack cycle.
+  bool rollback_armed_ = true;
+  /// Policy snapshot from the last fully-converged epoch — the rollback
+  /// target when a later push is nacked.
+  MeshPolicies last_good_policies_;
+  bool have_last_good_ = false;
+  bool crashed_ = false;
+  bool pending_reconverge_ = false;
+  sim::Time recovered_at_ = 0;
+  sim::Duration last_reconverge_ = 0;
+  /// When the oldest un-pushed registry change landed (0 = caught up).
+  sim::Time pending_change_since_ = 0;
+  sim::EventId poll_timer_ = sim::kInvalidEventId;
   sim::Duration poll_interval_ = 0;
   bool started_ = false;
+  sim::RngStream push_rng_;
+  sim::RngStream pace_rng_;
+
+  struct CpMetrics {
+    obs::Counter* attempts = nullptr;
+    obs::Counter* acks = nullptr;
+    obs::Counter* nacks = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* skipped_noop = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* cert_rotations = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* recoveries = nullptr;
+    obs::Gauge* epoch = nullptr;
+    obs::Gauge* stale = nullptr;
+    obs::Gauge* reconverge_ms = nullptr;
+  } cpm_;
 };
 
 }  // namespace meshnet::mesh

@@ -56,6 +56,9 @@ struct RequestContext {
   int attempt = 0;
   /// Previous retry backoff, threaded for decorrelated jitter.
   sim::Duration prev_backoff = 0;
+  /// Pods already attempted for this request; retries prefer endpoints
+  /// not on this list (Envoy's previous-hosts retry predicate).
+  std::vector<std::string> tried_pods;
   Span span;
   bool span_active = false;
 

@@ -1,6 +1,7 @@
 #include "mesh/sidecar.h"
 
 #include <algorithm>
+#include <type_traits>
 #include <utility>
 
 #include "util/logging.h"
@@ -78,13 +79,164 @@ void Sidecar::start() {
   sync_health_targets();
 }
 
-void Sidecar::apply_config(SidecarConfig config) {
+std::string validate_config(const SidecarConfig& config) {
+  if (config.request_timeout <= 0) return "non-positive request timeout";
+  if (config.retry.max_retries < 0) return "negative max_retries";
+  if (config.retry.backoff_base <= 0) return "non-positive backoff base";
+  for (const auto& [name, spec] : config.clusters) {
+    if (name.empty()) return "unnamed cluster";
+    if (spec.name != name) return "cluster name mismatch: " + name;
+    for (const cluster::Endpoint& ep : spec.endpoints) {
+      if (ep.pod_name.empty()) return "endpoint without pod in " + name;
+      if (ep.port == 0) return "endpoint without port in " + name;
+    }
+  }
+  for (const auto& [host, target] : config.routes) {
+    if (host.empty()) return "route with empty host";
+    if (target.empty()) return "route to empty cluster for " + host;
+  }
+  return {};
+}
+
+namespace {
+
+/// FNV-1a accumulator for config fingerprinting.
+struct ConfigHasher {
+  std::uint64_t h = 14695981039346656037ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> || std::is_enum_v<T>)
+  void mix(T v) {
+    const auto u = static_cast<std::uint64_t>(v);
+    bytes(&u, sizeof(u));
+  }
+  void mix(double v) { bytes(&v, sizeof(v)); }
+  void mix(const std::string& s) {
+    mix(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+}  // namespace
+
+std::uint64_t hash_sidecar_config(const SidecarConfig& c) {
+  ConfigHasher f;
+  f.mix(c.service_name);
+  f.mix(c.app_port);
+  f.mix(c.inbound_port);
+  f.mix(c.outbound_port);
+  f.mix(c.gateway_mode);
+  f.mix(c.routes.size());
+  for (const auto& [host, target] : c.routes) {
+    f.mix(host);
+    f.mix(target);
+  }
+  f.mix(c.clusters.size());
+  for (const auto& [name, spec] : c.clusters) {
+    f.mix(name);
+    f.mix(spec.name);
+    f.mix(spec.lb);
+    f.mix(spec.breaker.consecutive_failures);
+    f.mix(spec.breaker.open_duration);
+    f.mix(spec.breaker.half_open_probes);
+    f.mix(spec.subset_fallback);
+    const HealthCheckConfig& hc = spec.health_check;
+    f.mix(hc.enabled);
+    f.mix(hc.interval);
+    f.mix(hc.timeout);
+    f.mix(hc.unhealthy_threshold);
+    f.mix(hc.healthy_threshold);
+    f.mix(hc.path);
+    f.mix(hc.flap_max_transitions);
+    f.mix(hc.flap_window);
+    f.mix(hc.flap_penalty);
+    f.mix(spec.endpoints.size());
+    for (const cluster::Endpoint& ep : spec.endpoints) {
+      f.mix(ep.pod_name);
+      f.mix(ep.ip);
+      f.mix(ep.port);
+      f.mix(ep.labels.size());
+      for (const auto& [k, v] : ep.labels) {
+        f.mix(k);
+        f.mix(v);
+      }
+    }
+  }
+  f.mix(c.retry.max_retries);
+  f.mix(c.retry.per_try_timeout);
+  f.mix(c.retry.retry_on_5xx);
+  f.mix(c.retry.retry_on_reset);
+  f.mix(c.retry.backoff_base);
+  f.mix(c.retry.backoff_max);
+  f.mix(c.retry.backoff_jitter);
+  f.mix(c.retry.retry_budget);
+  f.mix(c.retry.retry_budget_min_concurrency);
+  f.mix(c.retry.retry_on_overloaded);
+  f.mix(c.request_timeout);
+  f.mix(c.admission.enabled);
+  f.mix(c.admission.queue_capacity);
+  f.mix(c.admission.shed_retries_first);
+  f.mix(c.admission.reserve_slots);
+  const ConcurrencyLimitConfig& lim = c.admission.limit;
+  f.mix(lim.initial_limit);
+  f.mix(lim.min_limit);
+  f.mix(lim.max_limit);
+  f.mix(lim.window);
+  f.mix(lim.min_window_samples);
+  f.mix(lim.latency_tolerance);
+  f.mix(lim.additive_increase);
+  f.mix(lim.multiplicative_decrease);
+  f.mix(lim.baseline_windows);
+  f.mix(lim.estimate_alpha);
+  f.mix(c.authorization.size());
+  for (const auto& [svc, sources] : c.authorization) {
+    f.mix(svc);
+    f.mix(sources.size());
+    for (const std::string& s : sources) f.mix(s);
+  }
+  f.mix(c.class_policies.size());
+  for (const auto& [tc, pol] : c.class_policies) {
+    f.mix(tc);
+    f.mix(pol.cc);
+    f.mix(pol.dscp);
+  }
+  f.mix(c.transport_mss);
+  f.mix(c.max_pool_connections);
+  f.mix(c.proxy_overhead_base);
+  f.mix(c.proxy_overhead_jitter);
+  f.mix(static_cast<bool>(c.upstream_connection_hook));
+  f.mix(c.identity_cert.serial);
+  return f.h;
+}
+
+bool Sidecar::apply_config(SidecarConfig config) {
   // Identity and listener ports are immutable post-start.
   config.service_name = config_.service_name;
   config.app_port = config_.app_port;
   config.inbound_port = config_.inbound_port;
   config.outbound_port = config_.outbound_port;
   config.gateway_mode = config_.gateway_mode;
+  if (config.epoch != 0 && config.epoch < config_.epoch) {
+    ++stats_.configs_rejected;
+    last_config_error_ = "stale-epoch";
+    return false;
+  }
+  const std::string error = validate_config(config);
+  if (!error.empty()) {
+    ++stats_.configs_rejected;
+    last_config_error_ = error;
+    MESHNET_DEBUG() << pod_.name() << " nacked config push: " << error;
+    return false;
+  }
+  last_config_error_.clear();
+  ++stats_.configs_applied;
   config_ = std::move(config);
   // Balancers are rebuilt lazily so a changed LB policy takes effect.
   balancers_.clear();
@@ -97,6 +249,7 @@ void Sidecar::apply_config(SidecarConfig config) {
         config_.service_name, config_.admission,
         telemetry_ != nullptr ? &telemetry_->registry() : nullptr);
   }
+  return true;
 }
 
 void Sidecar::sync_health_targets() {
@@ -441,14 +594,15 @@ const ClusterSpec* Sidecar::resolve_cluster(const std::string& host) const {
 }
 
 std::vector<const cluster::Endpoint*> Sidecar::eligible_endpoints(
-    const ClusterSpec& spec, const RequestContext& ctx) {
+    const ClusterSpec& spec, const RequestContext& ctx, bool ignore_health) {
   // Active health checking narrows the candidate set first; if *every*
   // endpoint is evicted, panic-route over the full set (Envoy's panic
   // threshold, degenerate form) — probes can be wrong, a guaranteed 503
   // never is right.
   std::vector<const cluster::Endpoint*> considered;
   for (const cluster::Endpoint& ep : spec.endpoints) {
-    if (!spec.health_check.enabled || health_checker_ == nullptr ||
+    if (ignore_health || !spec.health_check.enabled ||
+        health_checker_ == nullptr ||
         health_checker_->healthy(spec.name, ep.pod_name)) {
       considered.push_back(&ep);
     }
@@ -610,15 +764,56 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
     return active_requests_to(ep.pod_name);
   };
   LoadBalancer& balancer = balancer_for(spec);
-  const cluster::Endpoint* chosen = nullptr;
-  while (!candidates.empty()) {
-    const cluster::Endpoint* pick = balancer.pick(candidates, lb_ctx);
-    if (pick == nullptr) break;
-    if (breaker_for(spec.name, pick->pod_name).allow_request(sim_.now())) {
-      chosen = pick;
-      break;
+  const auto pick_allowed =
+      [&](std::vector<const cluster::Endpoint*> pool) -> const
+      cluster::Endpoint* {
+    while (!pool.empty()) {
+      const cluster::Endpoint* pick = balancer.pick(pool, lb_ctx);
+      if (pick == nullptr) break;
+      if (breaker_for(spec.name, pick->pod_name).allow_request(sim_.now())) {
+        return pick;
+      }
+      pool.erase(std::find(pool.begin(), pool.end(), pick));
     }
-    candidates.erase(std::find(candidates.begin(), candidates.end(), pick));
+    return nullptr;
+  };
+  // Retries prefer endpoints this request has not failed on yet
+  // (Envoy's previous-hosts retry predicate): a retry that re-picks the
+  // pod that just timed out burns its whole per-try budget relearning
+  // what the request already knows.
+  const auto without_tried = [&](std::vector<const cluster::Endpoint*> pool) {
+    if (ctx->tried_pods.empty()) return pool;
+    std::vector<const cluster::Endpoint*> untried;
+    for (const cluster::Endpoint* ep : pool) {
+      if (std::find(ctx->tried_pods.begin(), ctx->tried_pods.end(),
+                    ep->pod_name) == ctx->tried_pods.end()) {
+        untried.push_back(ep);
+      }
+    }
+    return untried;
+  };
+  // Preference order: (1) health-admitted and untried; (2) any untried
+  // endpoint, health belief ignored — under a churn storm the
+  // active-probe belief lags reality by a full probe round, and a pod
+  // that just timed out for THIS request is stronger evidence than a
+  // stale probe verdict for another; (3) health-admitted, tried or not;
+  // (4) anything. Breakers are honored at every tier.
+  const cluster::Endpoint* chosen = pick_allowed(without_tried(candidates));
+  const bool health_filtered =
+      spec.health_check.enabled && health_checker_ != nullptr;
+  if (chosen == nullptr && health_filtered && !ctx->tried_pods.empty()) {
+    chosen = pick_allowed(without_tried(
+        eligible_endpoints(spec, *ctx, /*ignore_health=*/true)));
+    if (chosen != nullptr) ++stats_.panic_picks;
+  }
+  if (chosen == nullptr) chosen = pick_allowed(std::move(candidates));
+  if (chosen == nullptr && health_filtered) {
+    // Second-level panic: every endpoint the health checker admits is
+    // breaker-rejected. Probes can be wrong; a guaranteed 503 never is
+    // right.
+    chosen =
+        pick_allowed(eligible_endpoints(spec, *ctx, /*ignore_health=*/true));
+    if (chosen != nullptr) ++stats_.panic_picks;
   }
   if (chosen == nullptr) {
     ++stats_.upstream_failures;
@@ -649,6 +844,10 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
   if (ctx->attempt > 0) ++inflight_retries_per_cluster_[spec.name];
 
   const std::string endpoint_pod = chosen->pod_name;
+  if (std::find(ctx->tried_pods.begin(), ctx->tried_pods.end(),
+                endpoint_pod) == ctx->tried_pods.end()) {
+    ctx->tried_pods.push_back(endpoint_pod);
+  }
   const std::string cluster_name = spec.name;
   session.upstream_cluster = cluster_name;
   session.upstream_endpoint = endpoint_pod;

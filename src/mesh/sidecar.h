@@ -81,6 +81,21 @@ struct RetryPolicy {
 sim::Duration next_retry_backoff(const RetryPolicy& policy, int attempt,
                                  sim::Duration prev, sim::RngStream& rng);
 
+/// A workload identity certificate (SPIFFE-flavoured). The simulation
+/// does not encrypt bytes, but identity issuance/rotation is modelled so
+/// policy has something real to hang off. Issued and rotated by the
+/// control plane; delivered to sidecars inside the config push.
+struct Certificate {
+  std::uint64_t serial = 0;
+  std::string spiffe_id;  ///< "spiffe://cluster.local/ns/default/sa/<svc>"
+  sim::Time issued_at = 0;
+  sim::Time expires_at = 0;
+
+  bool valid_at(sim::Time now) const noexcept {
+    return now >= issued_at && now < expires_at;
+  }
+};
+
 struct ClusterSpec {
   std::string name;
   std::vector<cluster::Endpoint> endpoints;
@@ -107,6 +122,16 @@ struct SidecarConfig {
   net::Port inbound_port = 15006;
   net::Port outbound_port = 15001;
   bool gateway_mode = false;
+
+  /// Control-plane config generation this snapshot was compiled from.
+  /// Monotonically increasing; a sidecar rejects pushes older than what
+  /// it already runs. 0 means "unversioned" (construction defaults and
+  /// direct test pokes) and always applies.
+  std::uint64_t epoch = 0;
+
+  /// This workload's identity certificate; rotation arrives as a config
+  /// push with a new serial.
+  Certificate identity_cert;
 
   /// Host header -> cluster name. Hosts not listed route to the cluster
   /// with the same name, if one exists.
@@ -142,6 +167,19 @@ struct SidecarConfig {
       upstream_connection_hook;
 };
 
+/// Sanity-checks a compiled config before it replaces the running one.
+/// Returns an empty string when valid, else a human-readable reason —
+/// the sidecar nacks the push and keeps its last-good config (the
+/// control plane rolls back on nack).
+std::string validate_config(const SidecarConfig& config);
+
+/// Structural fingerprint of a compiled config. Epoch is excluded (two
+/// epochs with identical payloads hash equal, which is what lets the
+/// control plane skip no-op pushes); the certificate serial is included
+/// so rotation propagates as a real push. Hooks contribute only their
+/// presence (std::function has no stable content identity).
+std::uint64_t hash_sidecar_config(const SidecarConfig& config);
+
 struct SidecarStats {
   std::uint64_t inbound_requests = 0;
   std::uint64_t outbound_requests = 0;
@@ -154,6 +192,11 @@ struct SidecarStats {
   /// overload (x-mesh-shed) and retry_on_overloaded is off.
   std::uint64_t retries_suppressed_by_overload = 0;
   std::uint64_t health_probes_answered = 0;
+  std::uint64_t configs_applied = 0;
+  std::uint64_t configs_rejected = 0;  ///< invalid or stale-epoch pushes
+  /// Second-level panic picks: every health-admitted endpoint was
+  /// breaker-rejected, so the pick fell back to the full endpoint set.
+  std::uint64_t panic_picks = 0;
 };
 
 class Sidecar {
@@ -168,8 +211,20 @@ class Sidecar {
   void start();
 
   /// Replaces routing/cluster/policy state (an xDS push). Listener ports
-  /// and service identity are fixed at construction.
-  void apply_config(SidecarConfig config);
+  /// and service identity are fixed at construction. Returns false — and
+  /// keeps the running config untouched — when the push is invalid
+  /// (validate_config) or stale (an epoch the sidecar already moved
+  /// past); `last_config_error()` then says why.
+  bool apply_config(SidecarConfig config);
+
+  /// Config generation currently applied (0 until a versioned push).
+  std::uint64_t config_epoch() const noexcept { return config_.epoch; }
+
+  /// Why the most recent apply_config returned false; empty after a
+  /// successful apply.
+  const std::string& last_config_error() const noexcept {
+    return last_config_error_;
+  }
 
   FilterChain& inbound_filters() noexcept { return inbound_chain_; }
   FilterChain& outbound_filters() noexcept { return outbound_chain_; }
@@ -177,6 +232,7 @@ class Sidecar {
   const SidecarConfig& config() const noexcept { return config_; }
   SidecarConfig& mutable_config() noexcept { return config_; }
   cluster::Pod& pod() noexcept { return pod_; }
+  const cluster::Pod& pod() const noexcept { return pod_; }
   const SidecarStats& stats() const noexcept { return stats_; }
 
   /// Outstanding upstream requests to one endpoint (used by the
@@ -260,7 +316,8 @@ class Sidecar {
                           const std::string& error);
   const ClusterSpec* resolve_cluster(const std::string& host) const;
   std::vector<const cluster::Endpoint*> eligible_endpoints(
-      const ClusterSpec& spec, const RequestContext& ctx);
+      const ClusterSpec& spec, const RequestContext& ctx,
+      bool ignore_health = false);
   HttpClientPool& pool_for(const cluster::Endpoint& endpoint,
                            TrafficClass traffic_class, net::Port port);
   LoadBalancer& balancer_for(const ClusterSpec& spec);
@@ -292,6 +349,7 @@ class Sidecar {
   std::unique_ptr<AdmissionController> admission_;
   sim::RngStream overhead_rng_;
   sim::RngStream retry_rng_;
+  std::string last_config_error_;
   bool started_ = false;
 };
 

@@ -327,6 +327,11 @@ std::optional<sim::Time> TokenBucketQdisc::next_ready(sim::Time now) const {
   if (have >= need) return now;
   const double deficit_bytes = need - have;
   const double wait_s = deficit_bytes * 8.0 / rate_bps_;
+  // A zero/negligible refill rate makes the wait non-finite or far beyond
+  // any experiment horizon; the cap keeps from_seconds() (int64 ns) from
+  // overflowing. The head packet will never be ready.
+  constexpr double kMaxWaitS = 1e8;  // ~3 sim-years
+  if (!(wait_s < kMaxWaitS)) return std::nullopt;
   return now + sim::from_seconds(wait_s) + 1;  // +1ns: strictly after refill
 }
 

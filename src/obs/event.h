@@ -14,12 +14,13 @@
 namespace meshnet::obs {
 
 enum class EventKind : std::uint8_t {
-  kBreaker = 0,  ///< circuit-breaker state transition
-  kHealth = 1,   ///< active-health-check eviction / readmission
-  kFault = 2,    ///< fault injected by the chaos layer
+  kBreaker = 0,       ///< circuit-breaker state transition
+  kHealth = 1,        ///< active-health-check eviction / readmission
+  kFault = 2,         ///< fault injected by the chaos layer
+  kControlPlane = 3,  ///< CP lifecycle: crash, recovery, rollback, nack
 };
 
-inline constexpr int kEventKindCount = 3;
+inline constexpr int kEventKindCount = 4;
 
 constexpr std::string_view to_string(EventKind kind) noexcept {
   switch (kind) {
@@ -29,6 +30,8 @@ constexpr std::string_view to_string(EventKind kind) noexcept {
       return "health";
     case EventKind::kFault:
       return "fault";
+    case EventKind::kControlPlane:
+      return "control-plane";
   }
   return "breaker";
 }
@@ -38,6 +41,7 @@ constexpr std::optional<EventKind> event_kind_from_string(
   if (name == "breaker") return EventKind::kBreaker;
   if (name == "health") return EventKind::kHealth;
   if (name == "fault") return EventKind::kFault;
+  if (name == "control-plane") return EventKind::kControlPlane;
   return std::nullopt;
 }
 

@@ -157,4 +157,53 @@ PointMetrics overload_point_metrics(const OverloadExperimentResult& result) {
   return metrics;
 }
 
+PointMetrics cp_point_metrics(const CpChaosExperimentResult& result) {
+  PointMetrics metrics;
+  const auto add_phase = [&metrics](const std::string& prefix,
+                                    const PhaseSummary& phase) {
+    metrics.scalars[prefix + "_goodput_rps"] = phase.goodput_rps;
+    metrics.scalars[prefix + "_success_rate"] = phase.success_rate;
+    metrics.scalars[prefix + "_p50_ms"] = phase.p50_ms;
+    metrics.scalars[prefix + "_p99_ms"] = phase.p99_ms;
+    metrics.counters[prefix + "_scheduled"] = phase.scheduled;
+    metrics.counters[prefix + "_completed"] = phase.completed;
+    metrics.counters[prefix + "_errors"] = phase.errors;
+  };
+  add_phase("before", result.before);
+  add_phase("during", result.during);
+  add_phase("after", result.after);
+  metrics.scalars["ls_p99_ms"] = result.ls.p99_ms;
+  metrics.scalars["li_p99_ms"] = result.li.p99_ms;
+  metrics.scalars["reconverge_ms"] = result.reconverge_ms;
+  metrics.scalars["max_staleness_ms"] = result.max_staleness_ms;
+  metrics.counters["ls_completed"] = result.ls.completed;
+  metrics.counters["ls_errors"] = result.ls.errors;
+  metrics.counters["li_completed"] = result.li.completed;
+  metrics.counters["li_errors"] = result.li.errors;
+  metrics.counters["push_attempts"] = result.push_attempts;
+  metrics.counters["push_acks"] = result.push_acks;
+  metrics.counters["push_nacks"] = result.push_nacks;
+  metrics.counters["push_retries"] = result.push_retries;
+  metrics.counters["push_skipped_noop"] = result.push_skipped_noop;
+  metrics.counters["push_dropped"] = result.push_dropped;
+  metrics.counters["config_rollbacks"] = result.config_rollbacks;
+  metrics.counters["cert_rotations"] = result.cert_rotations;
+  metrics.counters["final_epoch"] = result.final_epoch;
+  metrics.counters["stale_sidecars_at_end"] = result.stale_sidecars_at_end;
+  metrics.counters["converged"] = result.converged ? 1 : 0;
+  metrics.counters["health_evictions"] = result.health_evictions;
+  metrics.counters["health_readmissions"] = result.health_readmissions;
+  metrics.counters["flap_damps"] = result.flap_damps;
+  metrics.counters["upstream_retries"] = result.upstream_retries;
+  metrics.counters["retries_denied_by_budget"] =
+      result.retries_denied_by_budget;
+  metrics.counters["panic_picks"] = result.panic_picks;
+  metrics.counters["timeouts"] = result.timeouts;
+  metrics.counters["upstream_failures"] = result.upstream_failures;
+  metrics.counters["faults_executed"] = result.fault_log.size();
+  metrics.counters["events"] = result.events_executed;
+  metrics.snapshot = result.metrics;
+  return metrics;
+}
+
 }  // namespace meshnet::workload

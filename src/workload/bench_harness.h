@@ -25,6 +25,7 @@
 
 #include "stats/bench_report.h"
 #include "util/flags.h"
+#include "workload/cp_chaos_experiment.h"
 #include "workload/elibrary_experiment.h"
 #include "workload/overload_experiment.h"
 #include "workload/sweep_runner.h"
@@ -70,5 +71,11 @@ PointMetrics elibrary_point_metrics(const ElibraryExperimentResult& result);
 /// and the unified metrics snapshot. Shared by examples/overload_elibrary
 /// and the OverloadDeterminism golden so both compare the same surface.
 PointMetrics overload_point_metrics(const OverloadExperimentResult& result);
+
+/// The standard metric set for one CHAOS_CP experiment arm: per-phase LS
+/// goodput, push-channel counters (attempts/acks/retries/noop-skips),
+/// convergence scalars and the unified metrics snapshot. Shared by
+/// examples/cp_chaos_elibrary and the CpChaosDeterminism golden.
+PointMetrics cp_point_metrics(const CpChaosExperimentResult& result);
 
 }  // namespace meshnet::workload

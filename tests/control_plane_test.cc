@@ -1,0 +1,371 @@
+// Tests for control-plane fault tolerance: versioned config epochs,
+// ack/retry push over a lossy channel, rollback on poison config,
+// crash/recovery reconvergence, cert rotation and flap damping.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "mesh/control_plane.h"
+#include "mesh/health_checker.h"
+#include "mesh/sidecar.h"
+#include "sim/simulator.h"
+
+namespace meshnet::mesh {
+namespace {
+
+std::uint64_t counter(const ControlPlane& cp, std::string_view name) {
+  const obs::Counter* c = cp.metrics().find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+/// Client pod + N server replicas, sidecars injected, no apps: these
+/// tests exercise the push channel and probe machinery, not request
+/// traffic.
+class ControlPlaneFixture : public ::testing::Test {
+ protected:
+  void build(int replicas = 1, MeshPolicies policies = {}) {
+    cluster_ = std::make_unique<cluster::Cluster>(sim_);
+    cluster_->add_node("n1");
+    client_pod_ = &cluster_->add_pod("n1", "client", "client", 0);
+    for (int i = 1; i <= replicas; ++i) {
+      server_pods_.push_back(&cluster_->add_pod(
+          "n1", "server-v" + std::to_string(i), "server", 8080));
+    }
+    cp_ = std::make_unique<ControlPlane>(sim_, *cluster_,
+                                         std::move(policies));
+    client_sidecar_ = &cp_->inject_sidecar(*client_pod_, {});
+    for (auto* pod : server_pods_) {
+      server_sidecars_.push_back(&cp_->inject_sidecar(*pod, {}));
+    }
+  }
+
+  void run_for(sim::Duration duration) {
+    sim_.run_until(sim_.now() + duration);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<ControlPlane> cp_;
+  cluster::Pod* client_pod_ = nullptr;
+  std::vector<cluster::Pod*> server_pods_;
+  Sidecar* client_sidecar_ = nullptr;
+  std::vector<Sidecar*> server_sidecars_;
+};
+
+// ------------------------------------------------------ config epochs --
+
+TEST_F(ControlPlaneFixture, EpochIsMonotonicAcrossPushes) {
+  build();
+  EXPECT_EQ(cp_->epoch(), 0u);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    cp_->push_config();
+    EXPECT_EQ(cp_->epoch(), i);
+    EXPECT_TRUE(cp_->converged());
+    EXPECT_EQ(cp_->acked_epoch("server-v1"), i);
+    EXPECT_EQ(cp_->acked_epoch("client"), i);
+  }
+  const obs::Gauge* epoch_gauge = cp_->metrics().find_gauge("config_epoch");
+  ASSERT_NE(epoch_gauge, nullptr);
+  EXPECT_EQ(epoch_gauge->value(), 3.0);
+}
+
+TEST_F(ControlPlaneFixture, UnchangedConfigsAreSkippedNotResent) {
+  build();
+  const std::uint64_t attempts_before = counter(*cp_, "cp_push_attempts_total");
+  cp_->push_config();  // nothing changed since injection
+  EXPECT_EQ(counter(*cp_, "cp_push_attempts_total"), attempts_before);
+  EXPECT_EQ(counter(*cp_, "cp_push_skipped_noop"), 2u);
+  // The new epoch is still acked implicitly: no sidecar is stale.
+  EXPECT_TRUE(cp_->converged());
+  EXPECT_EQ(cp_->stale_sidecars(), 0u);
+
+  // A real policy change sends real pushes again.
+  cp_->policies().retry.max_retries = 7;
+  cp_->push_config();
+  EXPECT_EQ(counter(*cp_, "cp_push_attempts_total"), attempts_before + 2);
+  EXPECT_TRUE(cp_->converged());
+}
+
+TEST_F(ControlPlaneFixture, StaleEpochPushIsRejectedBySidecar) {
+  build();
+  cp_->push_config();
+  cp_->policies().retry.max_retries = 5;
+  cp_->push_config();
+  ASSERT_EQ(server_sidecars_[0]->config_epoch(), 2u);
+
+  SidecarConfig stale = server_sidecars_[0]->config();
+  stale.epoch = 1;
+  EXPECT_FALSE(server_sidecars_[0]->apply_config(stale));
+  EXPECT_EQ(server_sidecars_[0]->last_config_error(), "stale-epoch");
+  EXPECT_EQ(server_sidecars_[0]->stats().configs_rejected, 1u);
+  EXPECT_EQ(server_sidecars_[0]->config().retry.max_retries, 5);
+
+  // Epoch 0 marks an unversioned (test/local) config: always applies.
+  SidecarConfig unversioned = server_sidecars_[0]->config();
+  unversioned.epoch = 0;
+  EXPECT_TRUE(server_sidecars_[0]->apply_config(unversioned));
+}
+
+// -------------------------------------------------- lossy push channel --
+
+TEST_F(ControlPlaneFixture, LostPushesRetryWithBackoffUntilAcked) {
+  MeshPolicies policies;
+  policies.cp.ack_timeout = sim::milliseconds(20);
+  policies.cp.retry_backoff_base = sim::milliseconds(10);
+  policies.cp.retry_backoff_max = sim::milliseconds(40);
+  build(1, policies);
+  cp_->set_push_loss(1.0);
+  cp_->policies().retry.max_retries = 3;  // make configs actually change
+  cp_->push_config();
+  run_for(sim::milliseconds(500));
+
+  EXPECT_FALSE(cp_->converged());
+  EXPECT_EQ(cp_->stale_sidecars(), 2u);
+  EXPECT_GT(counter(*cp_, "cp_push_retries_total"), 0u);
+  const std::uint64_t acks_at_heal = counter(*cp_, "cp_push_acks_total");
+
+  cp_->set_push_loss(0.0);
+  run_for(sim::milliseconds(500));
+  EXPECT_TRUE(cp_->converged());
+  EXPECT_EQ(cp_->stale_sidecars(), 0u);
+  EXPECT_EQ(cp_->acked_epoch("server-v1"), cp_->epoch());
+  // Convergence came from the retry loop (the acks arrived after the
+  // heal), not a fresh operator push — the epoch never moved.
+  EXPECT_EQ(cp_->epoch(), 1u);
+  EXPECT_GT(counter(*cp_, "cp_push_acks_total"), acks_at_heal);
+}
+
+TEST_F(ControlPlaneFixture, PartitionDropsPushesAndHealRelaunches) {
+  build();
+  cp_->set_partitioned("server-v1", true);
+  cp_->policies().retry.max_retries = 5;
+  cp_->push_config();
+
+  EXPECT_GT(counter(*cp_, "cp_push_dropped_total"), 0u);
+  EXPECT_FALSE(cp_->converged());
+  EXPECT_LT(cp_->acked_epoch("server-v1"), cp_->epoch());
+  EXPECT_EQ(cp_->acked_epoch("client"), cp_->epoch());
+
+  cp_->set_partitioned("server-v1", false);
+  run_for(sim::milliseconds(100));
+  EXPECT_TRUE(cp_->converged());
+  EXPECT_EQ(cp_->acked_epoch("server-v1"), cp_->epoch());
+}
+
+// ------------------------------------------------- poison config + nack --
+
+TEST_F(ControlPlaneFixture, PoisonConfigNackRollsBackToLastGood) {
+  build();
+  cp_->push_config();  // converge once: this is the last-good snapshot
+  ASSERT_TRUE(cp_->converged());
+  const sim::Duration good_timeout = cp_->policies().request_timeout;
+
+  cp_->policies().request_timeout = -sim::seconds(1);  // poison
+  cp_->push_config();
+  run_for(sim::milliseconds(200));
+
+  EXPECT_GT(counter(*cp_, "cp_push_nacks_total"), 0u);
+  EXPECT_EQ(counter(*cp_, "cp_config_rollbacks_total"), 1u);
+  // The rollback restored the last converged policies and re-pushed a
+  // fresh (still monotonic) epoch that every sidecar acked.
+  EXPECT_TRUE(cp_->converged());
+  EXPECT_EQ(cp_->policies().request_timeout, good_timeout);
+  // The first sidecar pushed to nacked and triggered the rollback; every
+  // sidecar — nacker included — still runs the last-good timeout.
+  EXPECT_GT(client_sidecar_->stats().configs_rejected, 0u);
+  EXPECT_EQ(client_sidecar_->config().request_timeout, good_timeout);
+  for (const Sidecar* sidecar : server_sidecars_) {
+    EXPECT_EQ(sidecar->config().request_timeout, good_timeout);
+  }
+}
+
+TEST_F(ControlPlaneFixture, CompileMutatorPoisonIsClearedByRollback) {
+  build();
+  cp_->push_config();
+  ASSERT_TRUE(cp_->converged());
+
+  cp_->set_compile_mutator([](const std::string& pod, SidecarConfig& config) {
+    if (pod == "server-v1") config.retry.max_retries = -1;
+  });
+  cp_->policies().retry.per_try_timeout = sim::milliseconds(123);
+  cp_->push_config();
+  run_for(sim::milliseconds(200));
+
+  EXPECT_EQ(counter(*cp_, "cp_config_rollbacks_total"), 1u);
+  EXPECT_TRUE(cp_->converged());
+  EXPECT_EQ(server_sidecars_[0]->last_config_error(), "negative max_retries");
+  EXPECT_GE(server_sidecars_[0]->config().retry.max_retries, 0);
+}
+
+// --------------------------------------------------- crash + recovery --
+
+TEST_F(ControlPlaneFixture, CrashGrowsStalenessRecoveryReconverges) {
+  MeshPolicies policies;
+  policies.cp.push_latency_base = sim::milliseconds(1);
+  policies.cp.push_latency_jitter = sim::milliseconds(2);
+  policies.cp.reconverge_pacing = sim::milliseconds(10);
+  build(2, policies);
+  cp_->start(sim::milliseconds(50));
+  run_for(sim::milliseconds(500));
+  ASSERT_TRUE(cp_->converged());
+
+  cp_->crash();
+  EXPECT_TRUE(cp_->crashed());
+  EXPECT_FALSE(cp_->converged());
+  EXPECT_EQ(counter(*cp_, "cp_crashes_total"), 1u);
+
+  // Discovery keeps changing while nobody can push: staleness grows.
+  ASSERT_TRUE(cluster_->crash_pod("server-v2"));
+  ASSERT_TRUE(cluster_->restart_pod("server-v2"));  // registry bump
+  run_for(sim::milliseconds(400));
+  EXPECT_GE(cp_->discovery_staleness(), sim::milliseconds(400));
+  // The data plane still runs its last-applied config.
+  EXPECT_GT(server_sidecars_[0]->config_epoch(), 0u);
+
+  cp_->recover();
+  EXPECT_FALSE(cp_->crashed());
+  EXPECT_EQ(counter(*cp_, "cp_recoveries_total"), 1u);
+  run_for(sim::seconds(1));
+  EXPECT_TRUE(cp_->converged());
+  EXPECT_EQ(cp_->stale_sidecars(), 0u);
+  EXPECT_EQ(cp_->discovery_staleness(), 0);
+  EXPECT_GT(cp_->last_reconverge_duration(), 0);
+}
+
+TEST_F(ControlPlaneFixture, CrashedControlPlaneIgnoresOperatorPushes) {
+  build();
+  cp_->push_config();
+  const std::uint64_t epoch = cp_->epoch();
+  cp_->crash();
+  cp_->policies().retry.max_retries = 9;
+  cp_->push_config();  // no-op while down
+  EXPECT_EQ(cp_->epoch(), epoch);
+  EXPECT_EQ(server_sidecars_[0]->config().retry.max_retries, 1);
+}
+
+// ------------------------------------------------------ cert rotation --
+
+TEST_F(ControlPlaneFixture, CertificatesRotateAheadOfExpiry) {
+  MeshPolicies policies;
+  policies.certificate_lifetime = sim::seconds(2);
+  policies.cp.cert_refresh_ahead = 0.25;
+  build(1, policies);
+
+  const Certificate* first = cp_->certificate("server");
+  ASSERT_NE(first, nullptr);
+  const std::uint64_t first_serial = first->serial;
+
+  run_for(sim::seconds(3));
+  EXPECT_GT(counter(*cp_, "cp_cert_rotations_total"), 0u);
+  const Certificate* rotated = cp_->certificate("server");
+  ASSERT_NE(rotated, nullptr);
+  EXPECT_GT(rotated->serial, first_serial);
+  EXPECT_TRUE(rotated->valid_at(sim_.now()));
+  // The rotated cert reached the sidecar through a config push.
+  EXPECT_EQ(server_sidecars_[0]->config().identity_cert.serial,
+            rotated->serial);
+
+  const obs::Gauge* expiry = cp_->metrics().find_gauge(
+      "cert_seconds_to_expiry", {{"service", "server"}});
+  ASSERT_NE(expiry, nullptr);
+  EXPECT_GT(expiry->value(), 0.0);
+}
+
+TEST_F(ControlPlaneFixture, NoRotationWhenRefreshAheadDisabled) {
+  MeshPolicies policies;
+  policies.certificate_lifetime = sim::seconds(2);
+  build(1, policies);  // cert_refresh_ahead = 0
+  run_for(sim::seconds(5));
+  EXPECT_EQ(counter(*cp_, "cp_cert_rotations_total"), 0u);
+}
+
+// ------------------------------------------------------- flap damping --
+
+TEST_F(ControlPlaneFixture, FlapDampingSuppressesThrashingReadmission) {
+  MeshPolicies policies;
+  policies.health_check.enabled = true;
+  policies.health_check.interval = sim::milliseconds(50);
+  policies.health_check.timeout = sim::milliseconds(40);
+  policies.health_check.unhealthy_threshold = 1;
+  policies.health_check.healthy_threshold = 1;
+  policies.health_check.flap_max_transitions = 2;
+  policies.health_check.flap_window = sim::seconds(60);
+  policies.health_check.flap_penalty = sim::seconds(60);
+  build(2, policies);
+  run_for(sim::milliseconds(300));  // initial probes settle
+
+  const HealthChecker* checker = client_sidecar_->health_checker();
+  ASSERT_NE(checker, nullptr);
+
+  // Transition 1: eviction. Transition 2: readmission — arms the damper.
+  ASSERT_TRUE(cluster_->crash_pod("server-v1"));
+  run_for(sim::milliseconds(500));
+  EXPECT_FALSE(checker->healthy("server", "server-v1"));
+  ASSERT_TRUE(cluster_->restart_pod("server-v1"));
+  run_for(sim::milliseconds(500));
+  EXPECT_TRUE(checker->healthy("server", "server-v1"));
+
+  // Third flap: eviction still happens (always allowed) but the
+  // readmission is suppressed for the penalty window.
+  ASSERT_TRUE(cluster_->crash_pod("server-v1"));
+  run_for(sim::milliseconds(500));
+  EXPECT_FALSE(checker->healthy("server", "server-v1"));
+  ASSERT_TRUE(cluster_->restart_pod("server-v1"));
+  run_for(sim::milliseconds(500));
+  EXPECT_FALSE(checker->healthy("server", "server-v1"));
+  EXPECT_GT(checker->stats().flap_damps, 0u);
+}
+
+// ------------------------------------- config validation + fingerprint --
+
+TEST(ConfigValidation, DefaultConfigIsValid) {
+  EXPECT_EQ(validate_config(SidecarConfig{}), "");
+}
+
+TEST(ConfigValidation, RejectsMalformedConfigs) {
+  SidecarConfig bad_timeout;
+  bad_timeout.request_timeout = -1;
+  EXPECT_NE(validate_config(bad_timeout), "");
+
+  SidecarConfig bad_retries;
+  bad_retries.retry.max_retries = -2;
+  EXPECT_NE(validate_config(bad_retries), "");
+
+  SidecarConfig bad_endpoint;
+  ClusterSpec spec;
+  spec.name = "svc";
+  cluster::Endpoint nameless;
+  nameless.port = 8080;
+  spec.endpoints.push_back(nameless);
+  bad_endpoint.clusters["svc"] = spec;
+  EXPECT_NE(validate_config(bad_endpoint), "");
+
+  SidecarConfig bad_route;
+  bad_route.routes["host"] = "";
+  EXPECT_NE(validate_config(bad_route), "");
+}
+
+TEST(ConfigFingerprint, ExcludesEpochIncludesPayload) {
+  SidecarConfig base;
+  const std::uint64_t h = hash_sidecar_config(base);
+
+  SidecarConfig same_but_newer = base;
+  same_but_newer.epoch = 42;
+  EXPECT_EQ(hash_sidecar_config(same_but_newer), h);
+
+  SidecarConfig retry_changed = base;
+  retry_changed.retry.max_retries = 7;
+  EXPECT_NE(hash_sidecar_config(retry_changed), h);
+
+  SidecarConfig cert_changed = base;
+  cert_changed.identity_cert.serial = 9;
+  EXPECT_NE(hash_sidecar_config(cert_changed), h);
+}
+
+}  // namespace
+}  // namespace meshnet::mesh

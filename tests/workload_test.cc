@@ -358,6 +358,64 @@ TEST(OverloadDeterminism, TwoXKneeBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The CHAOS_CP experiment joins the determinism suite: a shortened CP
+// outage + churn storm (both arms) must be bit-identical — every scalar,
+// counter, histogram bucket and snapshot series — at any thread count.
+
+SweepResult run_cp_chaos_sweep(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  SweepRunner runner(options);
+  for (const bool outage : {true, false}) {
+    runner.add({{"outage", outage ? "on" : "off"}}, [outage] {
+      CpChaosExperimentConfig config;
+      config.ls_rps = 15.0;
+      config.li_rps = 5.0;
+      config.warmup = sim::seconds(1);
+      config.duration = sim::seconds(10);
+      config.cooldown = sim::seconds(1);
+      config.outage = outage;
+      config.outage_offset = sim::seconds(1);
+      config.outage_duration = sim::seconds(6);
+      config.churn_period = sim::seconds(3);
+      config.seed = 42;
+      return cp_point_metrics(run_cp_chaos_experiment(config));
+    });
+  }
+  return runner.run();
+}
+
+TEST(CpChaosDeterminism, OutageStormBitIdenticalAcrossThreadCounts) {
+  const SweepResult serial = run_cp_chaos_sweep(1);
+  ASSERT_EQ(serial.points.size(), 2u);
+  // The outage arm actually exercises the failure machinery: pushes flow,
+  // the mesh ends converged with no stale sidecars, the outage leaves a
+  // real staleness footprint, and churn drives real faults.
+  const PointMetrics& outage = serial.points[0].metrics;
+  EXPECT_GT(outage.counters.at("push_attempts"), 0u);
+  EXPECT_EQ(outage.counters.at("converged"), 1u);
+  EXPECT_EQ(outage.counters.at("stale_sidecars_at_end"), 0u);
+  EXPECT_GT(outage.counters.at("faults_executed"), 2u);
+  EXPECT_GT(outage.scalars.at("max_staleness_ms"), 1000.0);
+  EXPECT_GT(outage.counters.at("during_completed"), 0u);
+  ASSERT_FALSE(outage.snapshot.empty());
+  const obs::SeriesSnapshot* crashes =
+      outage.snapshot.find("cp_crashes_total");
+  ASSERT_NE(crashes, nullptr);
+  EXPECT_EQ(crashes->counter, 1u);
+  // The control arm never crashes the control plane.
+  const PointMetrics& control = serial.points[1].metrics;
+  EXPECT_EQ(control.snapshot.find("cp_crashes_total")->counter, 0u);
+  EXPECT_EQ(control.counters.at("converged"), 1u);
+
+  for (const int threads : {4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SweepResult parallel = run_cp_chaos_sweep(threads);
+    EXPECT_EQ(parallel.threads_used, threads);
+    expect_identical_sweeps(serial, parallel);
+  }
+}
+
 TEST(SweepRunner, ResultsArriveInInputOrderAndReportIsStable) {
   SweepOptions options;
   options.threads = 4;
