@@ -1,0 +1,48 @@
+// Counting global operator new, shared by every bench binary.
+//
+// Linking this TU replaces the program's allocator with a malloc-backed
+// one that counts calls; workload::bench_allocation_count() (declared
+// weak in bench_harness.cc with a zero-returning fallback) then resolves
+// to the strong definition here, and finish_harness reports
+// wall_allocs_per_event in the bench report's "engine" section. Binaries
+// that do not link this TU — the examples/ demos — simply report no
+// allocation profile. Keep this out of libraries: replaceable operator
+// new may be defined at most once per program.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC cannot see that the replacement operator new below is malloc-based
+// and flags every new/free pairing in dependent TUs.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace meshnet::workload {
+
+std::uint64_t bench_allocation_count() noexcept {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace meshnet::workload

@@ -32,32 +32,9 @@
 
 using namespace meshnet;
 
-// Counting global operator new: lets the scheduler/payload benches report
+// The counting global operator new lives in alloc_counter.cc (shared by
+// every bench binary); the scheduler/payload benches read it to report
 // allocations per operation (the zero-alloc claim, measured).
-static std::atomic<std::uint64_t> g_alloc_count{0};
-
-// GCC cannot see that the replacement operator new below is malloc-based
-// and flags every new/free pairing in this TU.
-#if defined(__GNUC__)
-#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
-#endif
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
 
 static void BM_SimulatorScheduleRun(benchmark::State& state) {
   for (auto _ : state) {
@@ -119,9 +96,9 @@ static void BM_SchedulerChurn(benchmark::State& state) {
   for (auto _ : state) {
     Churn churn;
     const std::uint64_t before =
-        g_alloc_count.load(std::memory_order_relaxed);
+        workload::bench_allocation_count();
     events += churn.run();
-    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    allocs += workload::bench_allocation_count() - before;
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
   state.counters["events_per_rep"] = benchmark::Counter(
@@ -160,7 +137,7 @@ static void BM_PayloadSendSlice(benchmark::State& state) {
   std::uint64_t rounds = 0;
   for (auto _ : state) {
     const std::uint64_t before =
-        g_alloc_count.load(std::memory_order_relaxed);
+        workload::bench_allocation_count();
     net::Payload whole = net::Payload::copy_of(data);
     std::size_t offset = 0;
     while (offset < data.size()) {
@@ -169,7 +146,7 @@ static void BM_PayloadSendSlice(benchmark::State& state) {
       benchmark::DoNotOptimize(seg.view().data());
       offset += len;
     }
-    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    allocs += workload::bench_allocation_count() - before;
     ++rounds;
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(rounds) *
@@ -199,9 +176,9 @@ static void BM_TelemetryRecordRequest(benchmark::State& state) {
   std::uint64_t records = 0;
   for (auto _ : state) {
     const std::uint64_t before =
-        g_alloc_count.load(std::memory_order_relaxed);
+        workload::bench_allocation_count();
     sink.record_request(sample);
-    allocs += g_alloc_count.load(std::memory_order_relaxed) - before;
+    allocs += workload::bench_allocation_count() - before;
     ++records;
   }
   benchmark::DoNotOptimize(sink.total_requests());

@@ -1,0 +1,143 @@
+#include "cluster/topology_gen.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/random.h"
+
+namespace meshnet::cluster {
+
+GenTopology generate_layered_fanout(const FanoutSpec& spec,
+                                    std::uint64_t seed) {
+  if (spec.layer_widths.empty()) {
+    throw std::invalid_argument("generate_layered_fanout: no layers");
+  }
+  for (int width : spec.layer_widths) {
+    if (width < 1) {
+      throw std::invalid_argument("generate_layered_fanout: empty layer");
+    }
+  }
+  if (spec.fanout < 1) {
+    throw std::invalid_argument("generate_layered_fanout: fanout < 1");
+  }
+  if (spec.min_edge_latency < 1 ||
+      spec.max_edge_latency < spec.min_edge_latency) {
+    // Zero-latency edges would make the parallel engine's lookahead
+    // window empty; the generator refuses to produce them.
+    throw std::invalid_argument(
+        "generate_layered_fanout: edge latency band must be >= 1 ns");
+  }
+
+  GenTopology topology;
+  // Wiring and latencies come from a single stream keyed only by the run
+  // seed, so the generated graph is a pure function of (spec, seed).
+  sim::RngStream rng(seed, "topo-gen");
+
+  std::vector<int> layer_start;  // first service id of each layer
+  int next_id = 0;
+  for (std::size_t layer = 0; layer < spec.layer_widths.size(); ++layer) {
+    layer_start.push_back(next_id);
+    for (int i = 0; i < spec.layer_widths[layer]; ++i) {
+      GenService service;
+      service.id = next_id++;
+      service.layer = static_cast<int>(layer);
+      topology.services.push_back(std::move(service));
+    }
+  }
+
+  const auto draw_latency = [&]() -> sim::Duration {
+    return static_cast<sim::Duration>(rng.uniform_int(
+        static_cast<std::uint64_t>(spec.min_edge_latency),
+        static_cast<std::uint64_t>(spec.max_edge_latency)));
+  };
+
+  std::vector<int> candidates;
+  for (std::size_t layer = 0; layer + 1 < spec.layer_widths.size(); ++layer) {
+    const int child_base = layer_start[layer + 1];
+    const int child_count = spec.layer_widths[layer + 1];
+    const int picks = std::min(spec.fanout, child_count);
+    for (int i = 0; i < spec.layer_widths[layer]; ++i) {
+      const int parent = layer_start[layer] + i;
+      candidates.resize(static_cast<std::size_t>(child_count));
+      std::iota(candidates.begin(), candidates.end(), child_base);
+      // Partial Fisher-Yates: the first `picks` entries become a uniform
+      // distinct sample, consuming a deterministic number of draws.
+      for (int k = 0; k < picks; ++k) {
+        const auto j = static_cast<int>(rng.uniform_int(
+            static_cast<std::uint64_t>(k),
+            static_cast<std::uint64_t>(child_count - 1)));
+        std::swap(candidates[static_cast<std::size_t>(k)],
+                  candidates[static_cast<std::size_t>(j)]);
+      }
+      // Sorted children: the call order a service fans out in is part of
+      // the topology, not an artifact of the sampling walk.
+      std::sort(candidates.begin(), candidates.begin() + picks);
+      for (int k = 0; k < picks; ++k) {
+        GenEdge edge;
+        edge.from = parent;
+        edge.to = candidates[static_cast<std::size_t>(k)];
+        edge.latency = draw_latency();
+        edge.rate_bps = spec.edge_rate_bps;
+        topology.services[static_cast<std::size_t>(parent)].out_edges.push_back(
+            static_cast<int>(topology.edges.size()));
+        topology.edges.push_back(edge);
+      }
+    }
+  }
+  return topology;
+}
+
+TopologyPartition partition_topology(const GenTopology& topology,
+                                     int shards) {
+  if (shards < 1) shards = 1;
+  const int n = topology.service_count();
+  shards = std::min(shards, std::max(n, 1));
+
+  // Weight = 1 + in-degree: a service's event volume scales with the
+  // requests arriving at it, and every service costs at least its own
+  // bookkeeping.
+  std::vector<std::uint64_t> weight(static_cast<std::size_t>(n), 1);
+  for (const GenEdge& edge : topology.edges) {
+    ++weight[static_cast<std::size_t>(edge.to)];
+  }
+  const std::uint64_t total =
+      std::accumulate(weight.begin(), weight.end(), std::uint64_t{0});
+
+  TopologyPartition partition;
+  partition.shards = shards;
+  partition.shard_of.resize(static_cast<std::size_t>(n), 0);
+  // Contiguous blocks in id order (ids follow layers, so a block is a
+  // band of adjacent layers/slices): service i goes to the shard its
+  // weight midpoint falls into. Deterministic, and keeps heavy fan-in
+  // layers spread across shards instead of piling into the last one.
+  std::uint64_t prefix = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t midpoint = prefix + weight[static_cast<std::size_t>(i)] / 2;
+    const auto shard = static_cast<int>(
+        (midpoint * static_cast<std::uint64_t>(shards)) / std::max<std::uint64_t>(total, 1));
+    partition.shard_of[static_cast<std::size_t>(i)] = std::min(shard, shards - 1);
+    prefix += weight[static_cast<std::size_t>(i)];
+  }
+
+  sim::Duration cut_min = 0;
+  sim::Duration all_min = 0;
+  for (const GenEdge& edge : topology.edges) {
+    if (all_min == 0 || edge.latency < all_min) all_min = edge.latency;
+    if (partition.shard_of[static_cast<std::size_t>(edge.from)] !=
+        partition.shard_of[static_cast<std::size_t>(edge.to)]) {
+      ++partition.cut_edges;
+      if (cut_min == 0 || edge.latency < cut_min) cut_min = edge.latency;
+    }
+  }
+  if (partition.cut_edges > 0) {
+    partition.lookahead = cut_min;
+  } else if (all_min > 0) {
+    partition.lookahead = all_min;
+  } else {
+    partition.lookahead = 1;  // no edges at all; any positive window works
+  }
+  return partition;
+}
+
+}  // namespace meshnet::cluster

@@ -101,9 +101,16 @@ void Link::try_transmit() {
     transmitting_ = false;
     stats_.delivered_packets += 1;
     stats_.delivered_bytes += p.size_bytes();
-    sim_.schedule_after(prop_delay_, [this, p = std::move(p)]() mutable {
-      if (sink_) sink_(std::move(p));
-    });
+    if (handoff_) {
+      // Cut link: the destination lives on another shard. Hand the
+      // packet off at serialization-complete time with the remaining
+      // propagation; the mailbox layer delivers it there.
+      handoff_(std::move(p), prop_delay_);
+    } else {
+      sim_.schedule_after(prop_delay_, [this, p = std::move(p)]() mutable {
+        if (sink_) sink_(std::move(p));
+      });
+    }
     try_transmit();
   });
 }

@@ -41,6 +41,29 @@ struct LoopStats {
     ++depth_histogram[bucket];
   }
 
+  /// Order-independent fold of another loop's counters, used by the
+  /// parallel engine to merge per-shard profiles into one snapshot.
+  /// Counters sum; max_queue_depth takes the max of the per-loop maxima
+  /// (the merged value is "deepest any one shard ever got", not a
+  /// simultaneous global depth).
+  void merge(const LoopStats& other) noexcept {
+    scheduled += other.scheduled;
+    executed += other.executed;
+    cancelled += other.cancelled;
+    heap_pushes += other.heap_pushes;
+    wheel_pushes += other.wheel_pushes;
+    due_merges += other.due_merges;
+    task_heap_allocs += other.task_heap_allocs;
+    heap_compactions += other.heap_compactions;
+    wheel_compactions += other.wheel_compactions;
+    if (other.max_queue_depth > max_queue_depth) {
+      max_queue_depth = other.max_queue_depth;
+    }
+    for (std::size_t i = 0; i < kDepthBuckets; ++i) {
+      depth_histogram[i] += other.depth_histogram[i];
+    }
+  }
+
   /// Host-throughput helper for bench reports (NOT deterministic).
   double events_per_second(double wall_seconds) const noexcept {
     return wall_seconds > 0.0 ? static_cast<double>(executed) / wall_seconds

@@ -2,9 +2,19 @@
 
 #include <algorithm>
 #include <bit>
+#include <stdexcept>
 #include <utility>
 
 namespace meshnet::sim {
+
+thread_local const Simulator* Simulator::t_active_shard_ = nullptr;
+
+void Simulator::throw_cross_shard_access() const {
+  throw std::logic_error(
+      "sim::Simulator: schedule/cancel on a simulator other than the "
+      "shard armed on this thread — cross-shard events must go through "
+      "ParallelEngine::post (mailboxes), never direct scheduling");
+}
 
 namespace {
 
@@ -45,6 +55,7 @@ void Simulator::free_slot(std::uint32_t index) noexcept {
 }
 
 EventId Simulator::schedule_at(Time when, InlineTask fn) {
+  check_shard_affinity();
   if (when < now_) when = now_;
   if (fn.heap_allocated()) ++stats_.task_heap_allocs;
   const std::uint32_t slot_index = alloc_slot();
@@ -66,6 +77,7 @@ EventId Simulator::schedule_after(Duration delay, InlineTask fn) {
 }
 
 bool Simulator::cancel(EventId id) {
+  check_shard_affinity();
   const std::uint32_t index_plus_one = static_cast<std::uint32_t>(id);
   if (id == kInvalidEventId || index_plus_one == 0) return false;
   const std::size_t index = index_plus_one - 1;
@@ -329,6 +341,8 @@ void Simulator::run_loop(Time deadline) {
     fire(e);
   }
 }
+
+Time Simulator::next_event_time() { return next_when(); }
 
 void Simulator::run() { run_loop(INT64_MAX); }
 

@@ -43,12 +43,43 @@ constexpr EventId kInvalidEventId = 0;
 
 class Simulator {
  public:
+  /// Returned by next_event_time() when the queue is empty.
+  static constexpr Time kNoEventTime = INT64_MIN;
+
   Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current simulated time.
   Time now() const noexcept { return now_; }
+
+  /// Absolute time of the earliest live pending event, or kNoEventTime
+  /// when nothing is scheduled. Prunes tombstones lazily but never
+  /// executes events or advances the clock. The parallel engine's epoch
+  /// coordinator uses this to compute the global lookahead horizon.
+  Time next_event_time();
+
+  /// Shard-affinity guard (see sim/parallel.h). While a ShardGuard for
+  /// simulator S is armed on the current thread, schedule_at /
+  /// schedule_after / cancel on any *other* simulator throw
+  /// std::logic_error: shard-local components must never mutate another
+  /// shard's event queue directly — cross-shard traffic has to go
+  /// through the engine's mailboxes, otherwise determinism (and thread
+  /// safety) silently break. Unarmed threads (every single-simulator
+  /// program) pay one thread-local load + branch per schedule.
+  class ShardGuard {
+   public:
+    explicit ShardGuard(const Simulator* active) noexcept
+        : previous_(t_active_shard_) {
+      t_active_shard_ = active;
+    }
+    ~ShardGuard() { t_active_shard_ = previous_; }
+    ShardGuard(const ShardGuard&) = delete;
+    ShardGuard& operator=(const ShardGuard&) = delete;
+
+   private:
+    const Simulator* previous_;
+  };
 
   /// Schedules `fn` to run at absolute time `when` (clamped to now()).
   EventId schedule_at(Time when, InlineTask fn);
@@ -94,7 +125,7 @@ class Simulator {
   /// harmless and a rebuild would cost more than it saves.
   static constexpr std::size_t kCompactMin = 64;
 
-  static constexpr Time kNoEvent = INT64_MIN;
+  static constexpr Time kNoEvent = kNoEventTime;
   static constexpr Time kNoHorizon = -1;
   static constexpr std::uint32_t kNilSlot = 0xffffffffu;
 
@@ -124,6 +155,17 @@ class Simulator {
   }
 
   std::int64_t cur_tick() const noexcept { return now_ >> kTickBits; }
+
+  /// Trips when a ShardGuard for a different simulator is armed on this
+  /// thread (cold path lives in the .cc).
+  void check_shard_affinity() const {
+    if (t_active_shard_ != nullptr && t_active_shard_ != this) {
+      throw_cross_shard_access();
+    }
+  }
+  [[noreturn]] void throw_cross_shard_access() const;
+
+  static thread_local const Simulator* t_active_shard_;
 
   std::uint32_t alloc_slot();
   void free_slot(std::uint32_t index) noexcept;

@@ -1,0 +1,72 @@
+#pragma once
+
+// Bounded single-producer/single-consumer ring buffer.
+//
+// The parallel engine's cross-shard mailboxes are SPSC by construction:
+// during an epoch exactly one executor thread (the one running the source
+// shard) pushes, and only the barrier coordinator pops — never while the
+// epoch is running. The acquire/release protocol below still makes the
+// ring safe for fully concurrent push/pop, so the mailboxes stay correct
+// (and TSan-clean) even if a future scheme drains them mid-epoch.
+//
+// Capacity is rounded up to a power of two. try_push fails when the ring
+// is full; the mailbox layer spills to a producer-owned overflow vector
+// (drained after the ring at each barrier, which preserves per-producer
+// send order because nothing is consumed between the first spill and the
+// barrier).
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace meshnet::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t capacity)
+      : slots_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity)),
+        mask_(slots_.size() - 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Producer side. Returns false (value untouched) when full.
+  bool try_push(T& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer-side emptiness check (exact for the consumer, a snapshot
+  /// for anyone else).
+  bool empty() const noexcept {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< next pop index
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< next push index
+};
+
+}  // namespace meshnet::sim

@@ -5,6 +5,48 @@
 
 namespace meshnet::util {
 
+WorkerBudget& WorkerBudget::global() {
+  static WorkerBudget budget;
+  return budget;
+}
+
+void WorkerBudget::set_limit(int workers) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  limit_ = workers < 0 ? 0 : workers;
+}
+
+int WorkerBudget::limit() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (limit_ > 0) return limit_;
+  return std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+}
+
+int WorkerBudget::in_use() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_use_;
+}
+
+int WorkerBudget::acquire(int requested, int minimum) {
+  if (requested < 0) requested = 0;
+  if (minimum < 0) minimum = 0;
+  if (minimum > requested) requested = minimum;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int cap =
+      limit_ > 0
+          ? limit_
+          : std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int available = std::max(0, cap - in_use_);
+  const int granted = std::max(minimum, std::min(requested, available));
+  in_use_ += granted;
+  return granted;
+}
+
+void WorkerBudget::release(int granted) {
+  if (granted <= 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  in_use_ = std::max(0, in_use_ - granted);
+}
+
 int ThreadPool::resolve_thread_count(int requested) {
   if (requested > 0) return requested;
   const unsigned hw = std::thread::hardware_concurrency();
@@ -13,6 +55,9 @@ int ThreadPool::resolve_thread_count(int requested) {
 
 ThreadPool::ThreadPool(int threads) {
   const int count = resolve_thread_count(threads);
+  // Register (never clamp): a pool's size is the caller's explicit
+  // request; the budget makes it visible so nested engines yield.
+  budget_granted_ = WorkerBudget::global().acquire(count, count);
   workers_.reserve(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -26,6 +71,7 @@ ThreadPool::~ThreadPool() {
   }
   work_available_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  WorkerBudget::global().release(budget_granted_);
 }
 
 void ThreadPool::submit(std::function<void()> job) {

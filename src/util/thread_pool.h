@@ -21,6 +21,55 @@
 
 namespace meshnet::util {
 
+/// Process-wide accounting of worker threads, shared by every layer that
+/// spawns parallelism, so nested parallel layers do not oversubscribe the
+/// host. The failure mode this exists for: `sweep_runner --threads N`
+/// fans sweep points across a ThreadPool, and each point internally
+/// builds a multi-shard sim::ParallelEngine — without a shared budget
+/// that spawns N*M threads on an N-core box and everything thrashes.
+///
+/// Protocol:
+///  * Top-level pools (the user's explicit --threads choice) REGISTER
+///    their workers via acquire(n, n): they are never clamped, they just
+///    make their concurrency visible.
+///  * Nested engines acquire their *extra* workers with acquire(m, 0)
+///    and run with whatever was granted. Clamping is always safe for
+///    them because engine results are thread-count-invariant by design;
+///    only wall-clock changes.
+///
+/// The limit defaults to the hardware thread count; release() must return
+/// exactly what acquire() granted.
+class WorkerBudget {
+ public:
+  /// The process-wide instance every pool/engine shares.
+  static WorkerBudget& global();
+
+  WorkerBudget() = default;
+  WorkerBudget(const WorkerBudget&) = delete;
+  WorkerBudget& operator=(const WorkerBudget&) = delete;
+
+  /// Sets the total worker limit (0 = hardware concurrency, the default).
+  void set_limit(int workers);
+  int limit() const;
+
+  /// Workers currently registered/granted.
+  int in_use() const;
+
+  /// Grants between `minimum` and `requested` workers, never pushing
+  /// in_use above the limit unless `minimum` itself requires it (a
+  /// caller that must make progress — e.g. a pool needing one worker —
+  /// may exceed the limit by its minimum). Returns the grant, which the
+  /// caller must eventually release().
+  int acquire(int requested, int minimum);
+
+  void release(int granted);
+
+ private:
+  mutable std::mutex mutex_;
+  int limit_ = 0;  ///< 0 = hardware concurrency
+  int in_use_ = 0;
+};
+
 class ThreadPool {
  public:
   /// Spawns `threads` workers; values < 1 are clamped to 1, and 0 means
@@ -57,6 +106,7 @@ class ThreadPool {
   bool stopping_ = false;
   std::exception_ptr first_error_;
   std::vector<std::thread> workers_;
+  int budget_granted_ = 0;  ///< registered with WorkerBudget::global()
 };
 
 }  // namespace meshnet::util

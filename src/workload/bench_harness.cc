@@ -4,6 +4,13 @@
 
 namespace meshnet::workload {
 
+// Weak fallback: binaries that do not link bench/alloc_counter.cc (the
+// examples) report no allocation profile. The attribute form is portable
+// across the gcc/clang matrix; MSVC is not a supported toolchain here.
+__attribute__((weak)) std::uint64_t bench_allocation_count() noexcept {
+  return 0;
+}
+
 HarnessOptions parse_harness_flags(
     int argc, const char* const* argv, std::string_view experiment,
     std::int64_t default_duration_s, std::uint64_t default_seed,
@@ -54,6 +61,18 @@ int finish_harness(const stats::BenchReport& input,
     report.engine.emplace_back("wall_events_total", total_events);
     report.engine.emplace_back("wall_events_per_sec",
                                total_events / (report.wall_ms / 1000.0));
+  }
+  // Allocation profile (zero-alloc discipline, measured): present only in
+  // binaries that link the counting allocator. Process-lifetime counts,
+  // so the per-event figure includes setup — an upper bound, comparable
+  // run to run on the same binary, and like all wall_* fields never part
+  // of baseline comparisons.
+  const double total_allocs =
+      static_cast<double>(bench_allocation_count());
+  if (total_allocs > 0.0 && total_events > 0.0) {
+    report.engine.emplace_back("wall_allocs_total", total_allocs);
+    report.engine.emplace_back("wall_allocs_per_event",
+                               total_allocs / total_events);
   }
   if (!options.json_out.empty()) {
     const std::string error = report.write_file(options.json_out);
@@ -203,6 +222,48 @@ PointMetrics cp_point_metrics(const CpChaosExperimentResult& result) {
   metrics.counters["faults_executed"] = result.fault_log.size();
   metrics.counters["events"] = result.events_executed;
   metrics.snapshot = result.metrics;
+  return metrics;
+}
+
+PointMetrics parsim_point_metrics(const ParsimExperimentResult& result) {
+  PointMetrics metrics;
+  // Workload surface: invariant across shard AND thread counts (the
+  // ShardInvariance property test compares exactly the non-engine_* keys
+  // plus the snapshot).
+  metrics.counters["requests_generated"] = result.requests_generated;
+  metrics.counters["leaf_completions"] = result.leaf_completions;
+  metrics.counters["service_visits"] = result.service_visits;
+  // The e2e histogram is recorded in MICROSECONDS (see parsim_experiment).
+  metrics.scalars["e2e_p50_ms"] =
+      static_cast<double>(result.e2e_latency.percentile(50.0)) / 1000.0;
+  metrics.scalars["e2e_p99_ms"] =
+      static_cast<double>(result.e2e_latency.percentile(99.0)) / 1000.0;
+  metrics.scalars["e2e_mean_ms"] = result.e2e_latency.mean() / 1000.0;
+  metrics.histograms["e2e_latency_us"] = result.e2e_latency;
+  metrics.snapshot = result.metrics;
+  metrics.counters["services"] = static_cast<std::uint64_t>(result.services);
+  metrics.counters["edges"] = static_cast<std::uint64_t>(result.edges);
+  // Engine surface: thread-invariant for a fixed shard count, shard-
+  // DEPENDENT otherwise — everything below is named engine_* (or is the
+  // harness's "events" throughput counter) so shard comparisons can
+  // exclude it wholesale.
+  metrics.counters["events"] = result.events_executed;
+  metrics.counters["engine_cut_edges"] =
+      static_cast<std::uint64_t>(result.cut_edges);
+  metrics.counters["engine_lookahead_ns"] =
+      static_cast<std::uint64_t>(result.lookahead);
+  metrics.counters["engine_epochs"] = result.engine.epochs;
+  metrics.counters["engine_messages"] = result.engine.messages;
+  metrics.counters["engine_mailbox_overflows"] =
+      result.engine.mailbox_overflows;
+  const sim::LoopStats& loop = result.loop_stats;
+  metrics.counters["engine_scheduled"] = loop.scheduled;
+  metrics.counters["engine_cancelled"] = loop.cancelled;
+  metrics.counters["engine_wheel_pushes"] = loop.wheel_pushes;
+  metrics.counters["engine_heap_pushes"] = loop.heap_pushes;
+  metrics.counters["engine_due_merges"] = loop.due_merges;
+  metrics.counters["engine_task_heap_allocs"] = loop.task_heap_allocs;
+  metrics.counters["engine_max_queue_depth"] = loop.max_queue_depth;
   return metrics;
 }
 

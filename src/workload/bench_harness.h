@@ -28,6 +28,7 @@
 #include "workload/cp_chaos_experiment.h"
 #include "workload/elibrary_experiment.h"
 #include "workload/overload_experiment.h"
+#include "workload/parsim_experiment.h"
 #include "workload/sweep_runner.h"
 
 namespace meshnet::workload {
@@ -61,6 +62,13 @@ SweepOptions sweep_options(const HarnessOptions& options);
 int finish_harness(const stats::BenchReport& report,
                    const HarnessOptions& options);
 
+/// Process-lifetime count of global operator-new calls. The strong
+/// definition lives in bench/alloc_counter.cc (its counting allocator is
+/// linked into every bench binary); elsewhere a weak zero-returning
+/// default applies and the allocation profile is simply omitted from
+/// reports. finish_harness uses it for wall_allocs_per_event.
+std::uint64_t bench_allocation_count() noexcept;
+
 /// The standard metric set for one e-library experiment run: per-workload
 /// p50/p90/p99/mean, success rate, completion/error/event counters and
 /// the raw latency histograms.
@@ -77,5 +85,13 @@ PointMetrics overload_point_metrics(const OverloadExperimentResult& result);
 /// convergence scalars and the unified metrics snapshot. Shared by
 /// examples/cp_chaos_elibrary and the CpChaosDeterminism golden.
 PointMetrics cp_point_metrics(const CpChaosExperimentResult& result);
+
+/// The standard metric set for one PARSIM run: workload scalars/counters
+/// (shard- and thread-invariant), the end-to-end latency histogram, the
+/// workload metrics snapshot, and the engine surface (events, epochs,
+/// messages, merged loop stats — thread-invariant for a fixed shard
+/// count). Shared by bench/bench_parsim and the determinism tests so both
+/// compare the same surface.
+PointMetrics parsim_point_metrics(const ParsimExperimentResult& result);
 
 }  // namespace meshnet::workload

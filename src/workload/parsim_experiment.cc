@@ -1,0 +1,311 @@
+#include "workload/parsim_experiment.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/qdisc.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace meshnet::workload {
+
+namespace {
+
+// splitmix64 finalizer: the per-visit compute time is a pure function of
+// (seed, service, request), so it does not depend on the order services
+// happen to process requests in — one of the three shard-invariance rules.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+struct Arrival {
+  std::uint64_t request_id = 0;
+  sim::Time start = 0;  ///< root arrival time, carried end to end
+  int src = -1;         ///< sending service id (-1 = root generator)
+};
+
+/// One simulated service: canonical same-timestamp ingestion in front of
+/// a single-server FIFO with hash-deterministic compute, fanning out to
+/// its children over per-edge links at completion.
+class Service {
+ public:
+  int id = 0;
+  bool leaf = false;
+  sim::Simulator* sim = nullptr;
+  std::vector<net::Link*> out_links;
+
+  // Cached registry cells (shard-local registry; no locking needed).
+  obs::Counter* visits = nullptr;
+  obs::Counter* leaf_done = nullptr;
+  obs::Histogram* latency = nullptr;
+
+  std::uint64_t run_seed = 0;
+  sim::Duration compute_min = 1;
+  sim::Duration compute_span = 1;  ///< max - min + 1
+  std::uint32_t request_bytes = 0;
+
+  void deliver(std::uint64_t request_id, sim::Time start, int src) {
+    visits->inc();
+    pending_.push_back(Arrival{request_id, start, src});
+    if (!drain_scheduled_) {
+      // The drain is scheduled *during* the first same-timestamp
+      // delivery, so its seq is higher than every delivery at this
+      // timestamp (all were scheduled strictly earlier — every delay in
+      // PARSIM is positive). It therefore observes the complete batch.
+      drain_scheduled_ = true;
+      sim->schedule_at(sim->now(), [this] { drain(); });
+    }
+  }
+
+ private:
+  void drain() {
+    drain_scheduled_ = false;
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Arrival& a, const Arrival& b) {
+                return std::tie(a.request_id, a.src) <
+                       std::tie(b.request_id, b.src);
+              });
+    for (Arrival& arrival : pending_) queue_.push_back(arrival);
+    pending_.clear();
+    if (!busy_ && !queue_.empty()) start_next();
+  }
+
+  void start_next() {
+    busy_ = true;
+    const Arrival job = queue_.front();
+    queue_.pop_front();
+    const sim::Duration compute =
+        compute_min +
+        static_cast<sim::Duration>(
+            mix64(run_seed ^ mix64(static_cast<std::uint64_t>(id)) ^
+                  job.request_id) %
+            static_cast<std::uint64_t>(compute_span));
+    sim->schedule_after(compute, [this, job] { complete(job); });
+  }
+
+  void complete(const Arrival& job) {
+    if (leaf) {
+      latency->record(
+          static_cast<std::uint64_t>((sim->now() - job.start) /
+                                     sim::kMicrosecond));
+      leaf_done->inc();
+    } else {
+      for (net::Link* link : out_links) {
+        net::Packet packet;
+        packet.flow.src_ip = static_cast<net::IpAddress>(id);
+        packet.seq = job.request_id;
+        packet.sent_at = job.start;
+        packet.header_bytes = request_bytes;
+        link->send(std::move(packet));
+      }
+    }
+    busy_ = false;
+    if (!queue_.empty()) start_next();
+  }
+
+  std::vector<Arrival> pending_;  ///< same-timestamp ingestion buffer
+  bool drain_scheduled_ = false;
+  std::deque<Arrival> queue_;  ///< canonical-order FIFO
+  bool busy_ = false;
+};
+
+/// Open-loop Poisson source in front of a root service. Each root owns
+/// its own named stream, so the arrival sequence is independent of shard
+/// and thread counts.
+struct Root {
+  Service* service = nullptr;
+  sim::RngStream rng;
+  obs::Counter* generated = nullptr;
+  double rps = 1.0;
+  sim::Time end = 0;
+  std::uint64_t next_request = 0;
+
+  Root(Service* svc, std::uint64_t seed)
+      : service(svc),
+        rng(seed, "parsim-arrivals:" + std::to_string(svc->id)) {}
+
+  void schedule_next() {
+    const sim::Duration gap = std::max<sim::Duration>(
+        1, sim::from_seconds(rng.exponential(1.0 / rps)));
+    const sim::Time when = service->sim->now() + gap;
+    if (when > end) return;  // arrival window closed; the run then drains
+    service->sim->schedule_at(when, [this] {
+      generated->inc();
+      const std::uint64_t request_id =
+          (static_cast<std::uint64_t>(service->id) << 40) | next_request++;
+      service->deliver(request_id, service->sim->now(), -1);
+      schedule_next();
+    });
+  }
+};
+
+}  // namespace
+
+cluster::FanoutSpec ParsimConfig::default_topology() {
+  cluster::FanoutSpec spec;
+  spec.layer_widths = {4, 8, 16, 36};  // 64 services
+  spec.fanout = 3;
+  // The band sets the engine's lookahead (min cut-edge latency): 2-4 ms
+  // keeps epochs wide enough that each shard executes tens-to-hundreds
+  // of events per barrier, which is what amortizes synchronization on
+  // multi-core hosts.
+  spec.min_edge_latency = sim::milliseconds(2);
+  spec.max_edge_latency = sim::milliseconds(4);
+  spec.edge_rate_bps = 10e9;
+  return spec;
+}
+
+ParsimExperimentResult run_parsim_experiment(const ParsimConfig& config) {
+  const cluster::GenTopology topology =
+      cluster::generate_layered_fanout(config.topology, config.seed);
+  const cluster::TopologyPartition partition =
+      cluster::partition_topology(topology, config.shards);
+
+  sim::ParallelEngineOptions engine_options;
+  engine_options.shards = partition.shards;
+  engine_options.lookahead = partition.lookahead;
+  engine_options.threads = config.threads;
+  engine_options.respect_worker_budget = config.respect_worker_budget;
+  sim::ParallelEngine engine(engine_options);
+
+  std::vector<std::unique_ptr<obs::MetricRegistry>> registries;
+  registries.reserve(static_cast<std::size_t>(partition.shards));
+  for (int s = 0; s < partition.shards; ++s) {
+    registries.push_back(std::make_unique<obs::MetricRegistry>());
+  }
+
+  const sim::Duration compute_span =
+      std::max<sim::Duration>(1, config.compute_max - config.compute_min + 1);
+
+  std::vector<std::unique_ptr<Service>> services;
+  services.reserve(topology.services.size());
+  for (const cluster::GenService& spec : topology.services) {
+    const int shard = partition.shard_of[static_cast<std::size_t>(spec.id)];
+    obs::MetricRegistry& registry = *registries[static_cast<std::size_t>(shard)];
+    auto service = std::make_unique<Service>();
+    service->id = spec.id;
+    service->leaf = spec.out_edges.empty();
+    service->sim = &engine.shard(shard);
+    service->visits = &registry.counter(
+        "parsim_visits", {{"layer", std::to_string(spec.layer)}});
+    if (service->leaf) {
+      service->leaf_done = &registry.counter("parsim_leaf_completions");
+      // Microseconds, deliberately: LogHistogram keeps double sum/sum-sq
+      // accumulators, and with us-scale values every partial sum stays
+      // below 2^53 — exactly representable, so per-shard accumulation
+      // merges to the same bits in any order. Nanosecond squares would
+      // overflow the mantissa and make shard-count invariance bucket-
+      // exact but not bit-exact.
+      service->latency = &registry.histogram("parsim_e2e_latency_us");
+    }
+    service->run_seed = config.seed;
+    service->compute_min = std::max<sim::Duration>(1, config.compute_min);
+    service->compute_span = compute_span;
+    service->request_bytes = config.request_bytes;
+    services.push_back(std::move(service));
+  }
+
+  std::vector<std::unique_ptr<net::Link>> links;
+  links.reserve(topology.edges.size());
+  for (const cluster::GenEdge& edge : topology.edges) {
+    const int src_shard = partition.shard_of[static_cast<std::size_t>(edge.from)];
+    const int dst_shard = partition.shard_of[static_cast<std::size_t>(edge.to)];
+    sim::Simulator& src_sim = engine.shard(src_shard);
+    auto link = std::make_unique<net::Link>(
+        src_sim,
+        "edge:" + std::to_string(edge.from) + "-" + std::to_string(edge.to),
+        edge.rate_bps, edge.latency, std::make_unique<net::FifoQdisc>());
+    Service* dst = services[static_cast<std::size_t>(edge.to)].get();
+    if (src_shard == dst_shard) {
+      link->set_sink([dst](net::Packet packet) {
+        dst->deliver(packet.seq, packet.sent_at,
+                     static_cast<int>(packet.flow.src_ip));
+      });
+    } else {
+      // Cut edge: serialize locally, then cross at serialization-complete
+      // time via the engine mailbox. Only PODs cross the thread boundary
+      // (the packet — and with it any pooled payload — dies on the
+      // source shard).
+      sim::ParallelEngine* engine_ptr = &engine;
+      sim::Simulator* src_sim_ptr = &src_sim;
+      link->set_handoff([engine_ptr, src_sim_ptr, src_shard, dst_shard, dst](
+                            net::Packet packet, sim::Duration propagation) {
+        const std::uint64_t request_id = packet.seq;
+        const sim::Time start = packet.sent_at;
+        const int src_id = static_cast<int>(packet.flow.src_ip);
+        engine_ptr->post(src_shard, dst_shard,
+                         src_sim_ptr->now() + propagation,
+                         [dst, request_id, start, src_id] {
+                           dst->deliver(request_id, start, src_id);
+                         });
+      });
+    }
+    services[static_cast<std::size_t>(edge.from)]->out_links.push_back(
+        link.get());
+    links.push_back(std::move(link));
+  }
+
+  std::vector<std::unique_ptr<Root>> roots;
+  for (const cluster::GenService& spec : topology.services) {
+    if (spec.layer != 0) continue;
+    Service* service = services[static_cast<std::size_t>(spec.id)].get();
+    const int shard = partition.shard_of[static_cast<std::size_t>(spec.id)];
+    auto root = std::make_unique<Root>(service, config.seed);
+    root->generated = &registries[static_cast<std::size_t>(shard)]->counter(
+        "parsim_requests_generated");
+    root->rps = config.root_rps;
+    root->end = config.duration;
+    root->schedule_next();
+    roots.push_back(std::move(root));
+  }
+
+  // Arrivals stop at config.duration; one extra second drains in-flight
+  // requests (per-visit residence is ~ms and utilization is low, so the
+  // system empties deterministically long before the deadline).
+  engine.run_until(config.duration + sim::seconds(1));
+
+  obs::MetricRegistry merged;
+  for (const auto& registry : registries) merged.merge(*registry);
+
+  ParsimExperimentResult result;
+  result.metrics = merged.snapshot();
+  if (const obs::Counter* generated =
+          merged.find_counter("parsim_requests_generated")) {
+    result.requests_generated = generated->value();
+  }
+  if (const obs::Counter* completions =
+          merged.find_counter("parsim_leaf_completions")) {
+    result.leaf_completions = completions->value();
+  }
+  for (const obs::SeriesSnapshot& series : result.metrics.series) {
+    if (series.name == "parsim_visits") result.service_visits += series.counter;
+  }
+  if (const obs::Histogram* latency =
+          merged.find_histogram("parsim_e2e_latency_us")) {
+    result.e2e_latency = latency->data();
+  }
+
+  result.shards = partition.shards;
+  result.executors = engine.executor_count();
+  result.services = topology.service_count();
+  result.edges = static_cast<int>(topology.edges.size());
+  result.cut_edges = partition.cut_edges;
+  result.lookahead = partition.lookahead;
+
+  result.events_executed = engine.events_executed();
+  result.loop_stats = engine.merged_loop_stats();
+  result.engine = engine.stats();
+  return result;
+}
+
+}  // namespace meshnet::workload

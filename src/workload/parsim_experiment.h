@@ -1,0 +1,101 @@
+#pragma once
+
+// The PARSIM experiment: a generated layered fan-out mesh driven through
+// the sharded parallel engine (sim/parallel.h).
+//
+// Purpose is twofold. As a benchmark, it is the engine's speedup case:
+// one simulated run partitioned across S shards and executed on 1..N
+// worker threads, where the workload metrics — and, for a fixed shard
+// count, the engine metrics too — must stay bit-identical at every
+// thread count while wall-clock drops. As a correctness harness, it is
+// built so that the *workload-visible* results are also independent of
+// the shard count itself, which gives the property tests a single-shard
+// reference to diff an 8-shard run against.
+//
+// Shard-count invariance is earned, not assumed. Three rules make it
+// hold:
+//   * every delay in the system is strictly positive (edge latency,
+//     serialization, compute), so no two causally-ordered events share a
+//     timestamp;
+//   * each service ingests same-timestamp arrivals canonically: arrivals
+//     buffer, a drain runs at the same timestamp after all of them (it
+//     is scheduled later so its seq is higher), and the batch is sorted
+//     by (request id, source service) before queueing — the FIFO's
+//     contents never depend on delivery order;
+//   * per-request compute times are a hash of (service, request), not a
+//     draw from a shared stream, so they are order-independent.
+//
+// Engine counters (events, epochs, loop stats) DO depend on the shard
+// count; they are reported next to the workload metrics but the
+// shard-invariance property excludes them.
+
+#include <cstdint>
+
+#include "cluster/topology_gen.h"
+#include "obs/metric_registry.h"
+#include "sim/loop_stats.h"
+#include "sim/parallel.h"
+#include "sim/time.h"
+#include "stats/histogram.h"
+
+namespace meshnet::workload {
+
+struct ParsimConfig {
+  /// The generated service DAG (default: 4+8+16+36 = 64 services).
+  cluster::FanoutSpec topology = default_topology();
+
+  int shards = 8;    ///< partition size; workload metrics don't depend on it
+  int threads = 1;   ///< engine worker threads (0 = hardware concurrency)
+  /// Benchmarks measuring N-thread wall clock run as the top-level
+  /// consumer and opt out of the shared worker budget.
+  bool respect_worker_budget = true;
+
+  std::uint64_t seed = 42;
+  sim::Duration duration = sim::seconds(5);  ///< arrival window; the run
+                                             ///< then drains in-flight work
+
+  /// Poisson arrival rate per root service. The default keeps leaf
+  /// utilization ~25% (stable, drains fast) while giving each shard a few
+  /// hundred events per barrier epoch — enough work to amortize the
+  /// barrier on multi-core hosts.
+  double root_rps = 400.0;
+
+  /// Per-visit compute window: the deterministic hash of (service,
+  /// request) maps into [compute_min, compute_max].
+  sim::Duration compute_min = sim::microseconds(200);
+  sim::Duration compute_max = sim::microseconds(800);
+
+  std::uint32_t request_bytes = 2048;  ///< on-wire size per edge crossing
+
+  static cluster::FanoutSpec default_topology();
+};
+
+struct ParsimExperimentResult {
+  // Workload surface — invariant across shard AND thread counts.
+  std::uint64_t requests_generated = 0;
+  std::uint64_t leaf_completions = 0;
+  std::uint64_t service_visits = 0;
+  /// Root arrival -> leaf completion, in MICROSECONDS (us-scale values
+  /// keep the histogram's double accumulators exact, which is what makes
+  /// shard-count invariance bit-exact; see parsim_experiment.cc).
+  stats::LogHistogram e2e_latency{7};
+  obs::MetricsSnapshot metrics;        ///< workload series only
+
+  // Partition/engine shape (fixed by config, deterministic).
+  int shards = 1;
+  int executors = 1;
+  int services = 0;
+  int edges = 0;
+  int cut_edges = 0;
+  sim::Duration lookahead = 0;
+
+  // Engine surface — invariant across thread counts for a fixed shard
+  // count, but NOT across shard counts.
+  std::uint64_t events_executed = 0;
+  sim::LoopStats loop_stats;        ///< merged across shards
+  sim::ParallelEngineStats engine;  ///< epochs / messages / overflows
+};
+
+ParsimExperimentResult run_parsim_experiment(const ParsimConfig& config);
+
+}  // namespace meshnet::workload
