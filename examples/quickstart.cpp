@@ -4,15 +4,13 @@
 //   client -> [gateway sidecar] -> frontend sidecar -> frontend app
 //                                     '-> backend sidecar -> backend app
 //
-// Demonstrates the public API end to end: cluster construction, sidecar
-// injection, microservice handlers, an HTTP client, distributed tracing
-// and telemetry.
+// Demonstrates the public API end to end: the declarative MeshSpec /
+// MeshBuilder construction path, microservice handlers, an HTTP client,
+// distributed tracing and telemetry.
 
 #include <cstdio>
 
-#include "app/microservice.h"
-#include "cluster/cluster.h"
-#include "mesh/control_plane.h"
+#include "app/mesh_builder.h"
 #include "mesh/http_client.h"
 #include "sim/simulator.h"
 #include "util/flags.h"
@@ -26,47 +24,41 @@ int main(int argc, char** argv) {
 
   sim::Simulator sim;
 
-  // --- 1. A one-node cluster with three pods -------------------------
-  cluster::Cluster cluster(sim);
-  cluster.add_node("node-a");
-  cluster::Pod& gateway_pod =
-      cluster.add_pod("node-a", "gateway", "gateway", 0);
-  cluster::Pod& frontend_pod =
-      cluster.add_pod("node-a", "frontend-v1", "frontend", 9080);
-  cluster::Pod& backend_pod =
-      cluster.add_pod("node-a", "backend-v1", "backend", 9080);
+  // --- 1. The whole mesh as data -------------------------------------
+  cluster::MeshSpec spec;
+  spec.nodes = {"node-a"};
+  spec.gateway.enabled = true;
+  spec.gateway.pod_name = "gateway";
+  spec.gateway.port = 80;
 
-  // --- 2. The mesh: control plane + sidecar injection ----------------
-  mesh::ControlPlane control_plane(sim, cluster);
-  mesh::SidecarInjectionOptions gw;
-  gw.gateway_mode = true;
-  gw.outbound_port = 80;
-  control_plane.inject_sidecar(gateway_pod, gw);
-  control_plane.inject_sidecar(frontend_pod, {});
-  control_plane.inject_sidecar(backend_pod, {});
-  control_plane.start();
-
-  // --- 3. The application containers ---------------------------------
-  app::Microservice frontend(
-      sim, frontend_pod, [](const http::HttpRequest&) {
-        app::HandlerResult plan;
-        plan.processing_delay = sim::microseconds(200);
-        plan.calls.push_back(app::SubCall{"backend", "/data"});
-        plan.response_bytes = 256;
-        return plan;
-      });
-  app::Microservice backend(sim, backend_pod, [](const http::HttpRequest&) {
+  cluster::ServiceSpec frontend;
+  frontend.name = "frontend";
+  frontend.calls = {"backend"};
+  frontend.handler = [](const http::HttpRequest&) {
+    app::HandlerResult plan;
+    plan.processing_delay = sim::microseconds(200);
+    plan.calls.push_back(app::SubCall{"backend", "/data"});
+    plan.response_bytes = 256;
+    return plan;
+  };
+  cluster::ServiceSpec backend;
+  backend.name = "backend";
+  backend.handler = [](const http::HttpRequest&) {
     app::HandlerResult plan;
     plan.processing_delay = sim::microseconds(100);
     plan.response_bytes = 1024;
     return plan;
-  });
+  };
+  spec.services = {frontend, backend};
+  spec.external_pods.push_back(cluster::ExternalPodSpec{"client", "", {}});
 
-  // --- 4. A client outside the mesh ----------------------------------
-  cluster::Pod& client_pod = cluster.add_pod("node-a", "client", "", 0);
-  mesh::HttpClientPool client(sim, client_pod.transport(),
-                              net::SocketAddress{gateway_pod.ip(), 80}, {},
-                              "client");
+  // --- 2. Build it: cluster, pods, sidecars, control plane, apps -----
+  auto mesh = cluster::MeshBuilder(sim).build(std::move(spec));
+  mesh::ControlPlane& control_plane = mesh->control_plane();
+
+  // --- 3. A client outside the mesh ----------------------------------
+  mesh::HttpClientPool client(sim, mesh->pod("client")->transport(),
+                              mesh->gateway_address(), {}, "client");
 
   http::HttpRequest request;
   request.path = "/hello";
@@ -95,7 +87,7 @@ int main(int argc, char** argv) {
   std::printf("response: HTTP %d, %zu body bytes, %.3f ms end-to-end\n",
               status, body_bytes, sim::to_milliseconds(done_at));
 
-  // --- 5. What the mesh saw ------------------------------------------
+  // --- 4. What the mesh saw ------------------------------------------
   std::printf("\ntrace spans (%zu):\n",
               control_plane.tracer().span_count());
   for (const mesh::Span& span : control_plane.tracer().spans()) {

@@ -12,8 +12,7 @@
 #include <cstdio>
 #include <optional>
 
-#include "app/microservice.h"
-#include "mesh/control_plane.h"
+#include "app/mesh_builder.h"
 #include "mesh/http_client.h"
 #include "util/flags.h"
 
@@ -21,35 +20,46 @@ using namespace meshnet;
 
 int main(int, char**) {
   sim::Simulator sim;
-  cluster::Cluster cluster(sim);
-  cluster.add_node("node-a");
-  cluster::Pod& client_pod = cluster.add_pod("node-a", "client", "client", 0);
-  cluster::Pod& v1 = cluster.add_pod("node-a", "server-v1", "server", 8080);
-  cluster::Pod& v2 = cluster.add_pod("node-a", "server-v2", "server", 8080);
 
-  mesh::MeshPolicies policies;
-  policies.retry.max_retries = 2;
-  policies.breaker.consecutive_failures = 3;
-  policies.breaker.open_duration = sim::seconds(2);
-  mesh::ControlPlane control_plane(sim, cluster, policies);
+  // Pods, sidecars and policy come from a spec; "client" is a
+  // sidecar-fronted pod with no app (we drive its sidecar directly).
+  cluster::MeshSpec spec;
+  spec.nodes = {"node-a"};
+  spec.policies.retry.max_retries = 2;
+  spec.policies.breaker.consecutive_failures = 3;
+  spec.policies.breaker.open_duration = sim::seconds(2);
+  cluster::ServiceSpec client_spec;
+  client_spec.name = "client";
+  client_spec.port = 0;  // not a routable endpoint
+  cluster::ServiceSpec server;
+  server.name = "server";
+  server.replicas = 2;
+  server.port = 8080;
+  spec.services = {client_spec, server};
+
+  auto mesh = cluster::MeshBuilder(sim).build(std::move(spec));
+  mesh::ControlPlane& control_plane = mesh->control_plane();
   control_plane.tracer().set_retention(0);
-  mesh::Sidecar& client_sidecar = control_plane.inject_sidecar(client_pod, {});
-  control_plane.inject_sidecar(v1, {});
-  control_plane.inject_sidecar(v2, {});
-  control_plane.start();
+  mesh::Sidecar& client_sidecar = *control_plane.sidecar_for("client-v1");
+  cluster::Pod& client_pod = *mesh->pod("client-v1");
 
+  // The server apps are hand-built: the two replicas run different code
+  // (v2 can be told to fail), which a per-service spec handler cannot
+  // express.
   bool v2_failing = false;
-  app::Microservice app_v1(sim, v1, [](const http::HttpRequest&) {
-    app::HandlerResult plan;
-    plan.response_bytes = 32;
-    return plan;
-  });
-  app::Microservice app_v2(sim, v2, [&](const http::HttpRequest&) {
-    app::HandlerResult plan;
-    plan.response_bytes = 32;
-    if (v2_failing) plan.status = 500;
-    return plan;
-  });
+  app::Microservice app_v1(sim, *mesh->pod("server-v1"),
+                           [](const http::HttpRequest&) {
+                             app::HandlerResult plan;
+                             plan.response_bytes = 32;
+                             return plan;
+                           });
+  app::Microservice app_v2(sim, *mesh->pod("server-v2"),
+                           [&](const http::HttpRequest&) {
+                             app::HandlerResult plan;
+                             plan.response_bytes = 32;
+                             if (v2_failing) plan.status = 500;
+                             return plan;
+                           });
 
   mesh::HttpClientPool client(sim, client_pod.transport(),
                               net::SocketAddress{client_pod.ip(), 15001}, {});

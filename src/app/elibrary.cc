@@ -1,5 +1,6 @@
 #include "app/elibrary.h"
 
+#include <cstdlib>
 #include <utility>
 
 #include "util/strings.h"
@@ -19,146 +20,128 @@ mesh::MeshPolicies ElibraryOptions::default_policies() {
 
 Elibrary::Elibrary(sim::Simulator& sim, ElibraryOptions options)
     : sim_(sim), options_(std::move(options)) {
-  build_topology();
-  build_services();
+  cluster::MeshBuilder builder(sim_);
+  std::string error;
+  mesh_ = builder.build(make_spec(), &error);
+  if (mesh_ == nullptr) {
+    // The spec below is static, so this is unreachable short of a
+    // programming error in this file.
+    std::abort();
+  }
+  gateway_ = mesh_->gateway_pod();
+  client_ = mesh_->pod("external-client");
 }
 
-void Elibrary::build_topology() {
-  cluster::ClusterConfig cluster_config;
-  cluster_config.default_link_bps = options_.link_bps;
-  cluster_config.default_link_delay = options_.link_delay;
-  cluster_ = std::make_unique<cluster::Cluster>(sim_, cluster_config);
-
-  // One worker node, as in the paper's single-server KIND deployment.
-  cluster_->add_node("kind-worker");
-
-  gateway_ = &cluster_->add_pod("kind-worker", "istio-ingressgateway",
-                                "gateway", 0);
-  cluster_->add_pod("kind-worker", "frontend-v1", "frontend", 9080);
-  cluster_->add_pod("kind-worker", "details-v1", "details", 9080);
-  {
-    cluster::PodOptions high;
-    high.labels = {{"priority", "high"}, {"version", "v1"}};
-    cluster_->add_pod("kind-worker", "reviews-v1", "reviews", 9080, high);
-    cluster::PodOptions low;
-    low.labels = {{"priority", "low"}, {"version", "v2"}};
-    cluster_->add_pod("kind-worker", "reviews-v2", "reviews", 9080, low);
-  }
-  {
-    cluster::PodOptions ratings;
-    ratings.link_bps = options_.bottleneck_bps;  // the 1 Gbps bottleneck
-    cluster_->add_pod("kind-worker", "ratings-v1", "ratings", 9080, ratings);
-  }
-  // The external client: a host outside the mesh with a fat pipe in.
-  client_ = &cluster_->add_pod("kind-worker", "external-client", "", 0,
-                               cluster::PodOptions{40e9, sim::microseconds(50),
-                                                   {}});
-
-  control_plane_ =
-      std::make_unique<mesh::ControlPlane>(sim_, *cluster_, options_.policies);
-}
-
-void Elibrary::build_services() {
+cluster::MeshSpec Elibrary::make_spec() const {
   const std::size_t base = options_.component_bytes;
   const std::size_t bulk = base * options_.analytics_multiplier;
   const sim::Duration think = options_.service_time;
+
+  cluster::MeshSpec spec;
+  spec.cluster.default_link_bps = options_.link_bps;
+  spec.cluster.default_link_delay = options_.link_delay;
+  // One worker node, as in the paper's single-server KIND deployment.
+  spec.nodes = {"kind-worker"};
+  spec.policies = options_.policies;
+
+  spec.gateway.enabled = true;
+  spec.gateway.port = kGatewayPort;
 
   MicroserviceOptions base_options;
   base_options.max_concurrency = options_.app_max_concurrency;
   base_options.priority_scheduling = options_.app_priority_scheduling;
 
-  auto inject = [&](const std::string& pod_name) -> cluster::Pod& {
-    cluster::Pod* pod = cluster_->find_pod(pod_name);
-    mesh::SidecarInjectionOptions options;
-    options.app_port = 8080;
-    control_plane_->inject_sidecar(*pod, options);
-    return *pod;
-  };
-
-  // Gateway sidecar: no app, outbound listener exposed on port 80.
-  {
-    mesh::SidecarInjectionOptions gw;
-    gw.gateway_mode = true;
-    gw.outbound_port = kGatewayPort;
-    control_plane_->inject_sidecar(*gateway_, gw);
-  }
-
   // frontend: fans out to details and reviews, regardless of workload;
   // the path decides which flavour the downstream serves.
   {
-    cluster::Pod& pod = inject("frontend-v1");
-    MicroserviceOptions options = base_options;
-    options.propagate_priority_header = options_.frontend_propagates_priority;
-    services_.push_back(std::make_unique<Microservice>(
-        sim_, pod,
-        [base, think](const http::HttpRequest& request) {
-          HandlerResult plan;
-          plan.processing_delay = think;
-          plan.response_bytes = base / 4;
-          const bool analytics =
-              util::starts_with(request.path, Elibrary::kLiPathPrefix);
-          const std::string item =
-              std::string(request.path.substr(request.path.find_last_of('/') +
-                                              1));
-          plan.calls.push_back(SubCall{"details", "/details/" + item});
-          plan.calls.push_back(SubCall{
-              "reviews", (analytics ? "/reviews/analytics/" : "/reviews/") +
-                             item});
-          return plan;
-        },
-        options));
+    cluster::ServiceSpec frontend;
+    frontend.name = "frontend";
+    frontend.calls = {"details", "reviews"};
+    frontend.app = base_options;
+    frontend.app.propagate_priority_header =
+        options_.frontend_propagates_priority;
+    frontend.handler = [base, think](const http::HttpRequest& request) {
+      HandlerResult plan;
+      plan.processing_delay = think;
+      plan.response_bytes = base / 4;
+      const bool analytics =
+          util::starts_with(request.path, Elibrary::kLiPathPrefix);
+      const std::string item = std::string(
+          request.path.substr(request.path.find_last_of('/') + 1));
+      plan.calls.push_back(SubCall{"details", "/details/" + item});
+      plan.calls.push_back(SubCall{
+          "reviews",
+          (analytics ? "/reviews/analytics/" : "/reviews/") + item});
+      return plan;
+    };
+    spec.services.push_back(std::move(frontend));
   }
 
   // details: a leaf; always small.
   {
-    cluster::Pod& pod = inject("details-v1");
-    services_.push_back(std::make_unique<Microservice>(
-        sim_, pod, [base, think](const http::HttpRequest&) {
-          HandlerResult plan;
-          plan.processing_delay = think;
-          plan.response_bytes = base;
-          return plan;
-        },
-        base_options));
+    cluster::ServiceSpec details;
+    details.name = "details";
+    details.app = base_options;
+    details.handler = [base, think](const http::HttpRequest&) {
+      HandlerResult plan;
+      plan.processing_delay = think;
+      plan.response_bytes = base;
+      return plan;
+    };
+    spec.services.push_back(std::move(details));
   }
 
   // reviews (two replicas, same code): calls ratings; analytics paths ask
-  // ratings for the bulk payload.
-  for (const std::string pod_name : {"reviews-v1", "reviews-v2"}) {
-    cluster::Pod& pod = inject(pod_name);
-    services_.push_back(std::make_unique<Microservice>(
-        sim_, pod, [base, think](const http::HttpRequest& request) {
-          HandlerResult plan;
-          plan.processing_delay = think;
-          plan.response_bytes = base / 2;
-          const bool analytics =
-              util::starts_with(request.path, "/reviews/analytics/");
-          const std::string item =
-              std::string(request.path.substr(request.path.find_last_of('/') +
-                                              1));
-          plan.calls.push_back(SubCall{
-              "ratings", (analytics ? "/ratings/bulk/" : "/ratings/") + item});
-          return plan;
-        },
-        base_options));
+  // ratings for the bulk payload. The replicas are labelled priority
+  // high/low so priority-subset routing has somewhere to route.
+  {
+    cluster::ServiceSpec reviews;
+    reviews.name = "reviews";
+    reviews.replicas = 2;
+    reviews.calls = {"ratings"};
+    reviews.app = base_options;
+    cluster::PodOptions high;
+    high.labels = {{"priority", "high"}, {"version", "v1"}};
+    cluster::PodOptions low;
+    low.labels = {{"priority", "low"}, {"version", "v2"}};
+    reviews.replica_options = {high, low};
+    reviews.handler = [base, think](const http::HttpRequest& request) {
+      HandlerResult plan;
+      plan.processing_delay = think;
+      plan.response_bytes = base / 2;
+      const bool analytics =
+          util::starts_with(request.path, "/reviews/analytics/");
+      const std::string item = std::string(
+          request.path.substr(request.path.find_last_of('/') + 1));
+      plan.calls.push_back(SubCall{
+          "ratings", (analytics ? "/ratings/bulk/" : "/ratings/") + item});
+      return plan;
+    };
+    spec.services.push_back(std::move(reviews));
   }
 
   // ratings: the leaf behind the bottleneck; bulk requests return the
   // ~200x analytics payload.
   {
-    cluster::Pod& pod = inject("ratings-v1");
-    services_.push_back(std::make_unique<Microservice>(
-        sim_, pod, [base, bulk, think](const http::HttpRequest& request) {
-          HandlerResult plan;
-          plan.processing_delay = think;
-          plan.response_bytes =
-              util::starts_with(request.path, "/ratings/bulk/") ? bulk : base;
-          return plan;
-        },
-        base_options));
+    cluster::ServiceSpec ratings;
+    ratings.name = "ratings";
+    ratings.pod.link_bps = options_.bottleneck_bps;  // the 1 Gbps bottleneck
+    ratings.app = base_options;
+    ratings.handler = [base, bulk, think](const http::HttpRequest& request) {
+      HandlerResult plan;
+      plan.processing_delay = think;
+      plan.response_bytes =
+          util::starts_with(request.path, "/ratings/bulk/") ? bulk : base;
+      return plan;
+    };
+    spec.services.push_back(std::move(ratings));
   }
 
-  control_plane_->start();
+  // The external client: a host outside the mesh with a fat pipe in.
+  spec.external_pods.push_back(cluster::ExternalPodSpec{
+      "external-client", "",
+      cluster::PodOptions{40e9, sim::microseconds(50), {}}});
+  return spec;
 }
 
 net::SocketAddress Elibrary::gateway_address() const {
@@ -166,7 +149,7 @@ net::SocketAddress Elibrary::gateway_address() const {
 }
 
 net::Link& Elibrary::bottleneck_link() {
-  return cluster_->find_pod("ratings-v1")->egress_link();
+  return mesh_->pod("ratings-v1")->egress_link();
 }
 
 std::size_t Elibrary::expected_ls_body_bytes() const {

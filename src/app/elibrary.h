@@ -21,8 +21,8 @@
 
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "app/mesh_builder.h"
 #include "app/microservice.h"
 #include "cluster/cluster.h"
 #include "mesh/control_plane.h"
@@ -64,8 +64,10 @@ class Elibrary {
   Elibrary(const Elibrary&) = delete;
   Elibrary& operator=(const Elibrary&) = delete;
 
-  cluster::Cluster& cluster() noexcept { return *cluster_; }
-  mesh::ControlPlane& control_plane() noexcept { return *control_plane_; }
+  cluster::Cluster& cluster() noexcept { return mesh_->cluster(); }
+  mesh::ControlPlane& control_plane() noexcept {
+    return mesh_->control_plane();
+  }
   const ElibraryOptions& options() const noexcept { return options_; }
 
   /// Where external clients (the load generator) connect.
@@ -77,21 +79,20 @@ class Elibrary {
   /// The contended link: the ratings pod's egress vNIC.
   net::Link& bottleneck_link();
 
-  cluster::Pod* pod(const std::string& name) { return cluster_->find_pod(name); }
+  cluster::Pod* pod(const std::string& name) { return mesh_->pod(name); }
 
   /// Expected LS / LI end-to-end response body sizes (for tests).
   std::size_t expected_ls_body_bytes() const;
   std::size_t expected_li_body_bytes() const;
 
  private:
-  void build_topology();
-  void build_services();
+  /// The whole app as data: the declarative equivalent of the old
+  /// hand-wired build_topology()/build_services() pair.
+  cluster::MeshSpec make_spec() const;
 
   sim::Simulator& sim_;
   ElibraryOptions options_;
-  std::unique_ptr<cluster::Cluster> cluster_;
-  std::unique_ptr<mesh::ControlPlane> control_plane_;
-  std::vector<std::unique_ptr<Microservice>> services_;
+  std::unique_ptr<cluster::BuiltMesh> mesh_;
   cluster::Pod* client_ = nullptr;
   cluster::Pod* gateway_ = nullptr;
 };

@@ -1,0 +1,134 @@
+#include "mesh/config_delta.h"
+
+namespace meshnet::mesh {
+
+namespace {
+
+std::size_t string_bytes(const std::string& s) { return s.size() + 4; }
+
+std::size_t endpoint_bytes(const cluster::Endpoint& ep) {
+  std::size_t bytes = string_bytes(ep.pod_name) + 6;  // ip + port
+  for (const auto& [k, v] : ep.labels) {
+    bytes += string_bytes(k) + string_bytes(v);
+  }
+  return bytes;
+}
+
+std::size_t cluster_spec_bytes(const ClusterSpec& spec) {
+  // lb + breaker + subset_fallback + health-check block, fixed-size.
+  std::size_t bytes = string_bytes(spec.name) + 48 +
+                      string_bytes(spec.health_check.path);
+  for (const cluster::Endpoint& ep : spec.endpoints) {
+    bytes += endpoint_bytes(ep);
+  }
+  return bytes;
+}
+
+std::size_t policy_section_bytes(const SidecarConfig& config) {
+  // retry + timeouts + admission + class policies + transport + proxy
+  // overhead knobs: fixed-size scalar fields.
+  std::size_t bytes = 160 + string_bytes(config.service_name) +
+                      string_bytes(config.identity_cert.spiffe_id);
+  for (const auto& [svc, sources] : config.authorization) {
+    bytes += string_bytes(svc);
+    for (const std::string& s : sources) bytes += string_bytes(s);
+  }
+  bytes += config.class_policies.size() * 6;
+  return bytes;
+}
+
+}  // namespace
+
+ConfigDelta make_config_delta(const SidecarConfig& base,
+                              const SidecarConfig& target) {
+  ConfigDelta delta;
+  delta.epoch = target.epoch;
+  delta.base_hash = hash_sidecar_config(base);
+  delta.target_hash = hash_sidecar_config(target);
+
+  if (hash_policy_section(base) != hash_policy_section(target)) {
+    delta.policy_changed = true;
+    delta.policy = target;
+    delta.policy.clusters.clear();
+    delta.policy.routes.clear();
+  }
+
+  for (const auto& [name, spec] : target.clusters) {
+    const auto it = base.clusters.find(name);
+    if (it == base.clusters.end() ||
+        hash_cluster_spec(it->second) != hash_cluster_spec(spec)) {
+      delta.cluster_upserts.emplace(name, spec);
+    }
+  }
+  for (const auto& [name, spec] : base.clusters) {
+    if (!target.clusters.contains(name)) delta.cluster_removals.push_back(name);
+  }
+
+  for (const auto& [host, cluster] : target.routes) {
+    const auto it = base.routes.find(host);
+    if (it == base.routes.end() || it->second != cluster) {
+      delta.route_upserts.emplace(host, cluster);
+    }
+  }
+  for (const auto& [host, cluster] : base.routes) {
+    if (!target.routes.contains(host)) delta.route_removals.push_back(host);
+  }
+  return delta;
+}
+
+SidecarConfig apply_config_delta(const SidecarConfig& base,
+                                 const ConfigDelta& delta) {
+  SidecarConfig out;
+  if (delta.policy_changed) {
+    out = delta.policy;
+    out.routes = base.routes;
+    out.clusters = base.clusters;
+  } else {
+    out = base;
+  }
+  out.epoch = delta.epoch;
+  for (const std::string& name : delta.cluster_removals) {
+    out.clusters.erase(name);
+  }
+  for (const auto& [name, spec] : delta.cluster_upserts) {
+    out.clusters[name] = spec;
+  }
+  for (const std::string& host : delta.route_removals) {
+    out.routes.erase(host);
+  }
+  for (const auto& [host, cluster] : delta.route_upserts) {
+    out.routes[host] = cluster;
+  }
+  return out;
+}
+
+std::size_t estimate_config_bytes(const SidecarConfig& config) {
+  std::size_t bytes = 16 + policy_section_bytes(config);  // epoch + framing
+  for (const auto& [host, cluster] : config.routes) {
+    bytes += string_bytes(host) + string_bytes(cluster);
+  }
+  for (const auto& [name, spec] : config.clusters) {
+    bytes += cluster_spec_bytes(spec);
+  }
+  return bytes;
+}
+
+std::size_t estimate_delta_bytes(const ConfigDelta& delta) {
+  std::size_t bytes = 40;  // epoch + base/target hashes + framing
+  if (delta.policy_changed) bytes += policy_section_bytes(delta.policy);
+  for (const auto& [name, spec] : delta.cluster_upserts) {
+    bytes += cluster_spec_bytes(spec);
+  }
+  for (const std::string& name : delta.cluster_removals) {
+    bytes += string_bytes(name);
+  }
+  for (const auto& [host, cluster] : delta.route_upserts) {
+    bytes += string_bytes(host) + string_bytes(cluster);
+  }
+  for (const std::string& host : delta.route_removals) {
+    bytes += string_bytes(host);
+  }
+  return bytes;
+}
+
+}  // namespace meshnet::mesh

@@ -1,0 +1,76 @@
+#pragma once
+
+// Incremental (xDS delta-style) config push (MESHSCALE, DESIGN.md §13).
+//
+// A full-snapshot push re-transmits every cluster and route to every
+// sidecar on every epoch; at N services that is O(N) bytes per sidecar
+// per endpoint flap, O(N^2) mesh-wide. A ConfigDelta carries only what
+// changed since the sidecar's last *acked* config:
+//
+//   * per-cluster upserts (new or changed ClusterSpecs, compared by
+//     hash_cluster_spec) and removals;
+//   * per-route upserts/removals;
+//   * the non-cluster "policy section" (retry/timeout/admission/...) as
+//     one blob, only when its fingerprint changed.
+//
+// Safety over cleverness: a delta names the exact base it diffs against
+// (base_hash) and the exact result it must produce (target_hash). The
+// sidecar reconstructs the full candidate config, verifies both hashes,
+// and funnels it through the same apply_config validation a full push
+// uses — so delta and full push converge to identical fingerprints by
+// construction. Any mismatch nacks with "delta-base-mismatch" and the
+// control plane falls back to a full push for that sidecar.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mesh/sidecar.h"
+
+namespace meshnet::mesh {
+
+struct ConfigDelta {
+  std::uint64_t epoch = 0;
+  /// Fingerprint of the config this delta applies on top of (the
+  /// sidecar's running config; the control plane tracks it per ack).
+  std::uint64_t base_hash = 0;
+  /// Fingerprint the reconstructed config must have.
+  std::uint64_t target_hash = 0;
+
+  /// Non-cluster, non-route fields changed; `policy` replaces them
+  /// wholesale (its clusters/routes stay empty and are ignored).
+  bool policy_changed = false;
+  SidecarConfig policy;
+
+  std::map<std::string, ClusterSpec> cluster_upserts;
+  std::vector<std::string> cluster_removals;
+  std::map<std::string, std::string> route_upserts;
+  std::vector<std::string> route_removals;
+
+  bool empty() const noexcept {
+    return !policy_changed && cluster_upserts.empty() &&
+           cluster_removals.empty() && route_upserts.empty() &&
+           route_removals.empty();
+  }
+};
+
+/// Diffs `target` against `base`. epoch/target_hash are taken from
+/// `target`; base_hash from `base`.
+ConfigDelta make_config_delta(const SidecarConfig& base,
+                              const SidecarConfig& target);
+
+/// Reconstructs the full config `delta` was diffed to produce. Pure;
+/// does not validate (the caller runs apply_config on the result).
+SidecarConfig apply_config_delta(const SidecarConfig& base,
+                                 const ConfigDelta& delta);
+
+/// Modeled wire size of a full-snapshot push / a delta push, in bytes.
+/// Not a serialization — a stable cost model (string bytes + fixed
+/// per-field costs) so the MESHSCALE experiment can compare transfer
+/// volume deterministically across hosts.
+std::size_t estimate_config_bytes(const SidecarConfig& config);
+std::size_t estimate_delta_bytes(const ConfigDelta& delta);
+
+}  // namespace meshnet::mesh

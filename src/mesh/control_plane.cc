@@ -31,6 +31,19 @@ ControlPlane::ControlPlane(sim::Simulator& sim, cluster::Cluster& cluster,
   cpm_.epoch = &registry_.gauge("config_epoch");
   cpm_.stale = &registry_.gauge("cp_sidecars_stale");
   cpm_.reconverge_ms = &registry_.gauge("cp_reconverge_ms");
+  // Opt-in series only: a legacy mesh's registry stays byte-identical.
+  if (policies_.cp.delta_push) {
+    cpm_.delta_pushes = &registry_.counter("cp_delta_pushes_total");
+    cpm_.delta_fallbacks = &registry_.counter("cp_delta_fallbacks_total");
+    cpm_.delta_bytes = &registry_.counter("cp_delta_push_bytes_total");
+    cpm_.full_bytes = &registry_.counter("cp_full_push_bytes_total");
+  }
+  if (policies_.subset.enabled) {
+    cpm_.subset_assignments =
+        &registry_.counter("subset_endpoints_assigned_total");
+    cpm_.subset_repairs =
+        &registry_.counter("subset_coverage_repairs_total");
+  }
   // Staleness accounting rides the cluster's watch channel, not the
   // control plane's poll loop, so discovery churn is timestamped even
   // while the control plane is crashed.
@@ -74,12 +87,17 @@ Sidecar& ControlPlane::inject_sidecar(cluster::Pod& pod,
   SidecarConfig compiled = compile_config(ref);
   const std::uint64_t hash = hash_sidecar_config(compiled);
   const std::uint64_t compiled_epoch = compiled.epoch;
+  std::shared_ptr<const SidecarConfig> applied;
+  if (policies_.cp.delta_push) {
+    applied = std::make_shared<const SidecarConfig>(compiled);
+  }
   if (ref.apply_config(std::move(compiled))) {
     // Injection is a local, synchronous bootstrap push: seed the channel
     // state so the next broadcast can skip this sidecar if unchanged.
     PushState& state = push_state_[pod.name()];
     state.acked_epoch = compiled_epoch;
     state.acked_hash = hash;
+    state.acked_config = std::move(applied);
   }
   ref.start();
   return ref;
@@ -155,6 +173,28 @@ void ControlPlane::launch_push(Sidecar& sidecar) {
   }
 
   const ControlPlaneConfig& cp = policies_.cp;
+  // Incremental transport: once a base config has been acked, ship only
+  // the diff against it. A forced-full flag (set after a delta mismatch)
+  // or a missing base falls back to the full snapshot.
+  const bool use_delta =
+      cp.delta_push && !state.force_full && state.acked_config != nullptr;
+  ConfigDelta delta;
+  if (use_delta) {
+    delta = make_config_delta(*state.acked_config, config);
+    push_bytes_delta_ += estimate_delta_bytes(delta);
+    ++pushes_delta_;
+    if (cpm_.delta_pushes != nullptr) cpm_.delta_pushes->inc();
+    if (cpm_.delta_bytes != nullptr) {
+      cpm_.delta_bytes->inc(estimate_delta_bytes(delta));
+    }
+  } else {
+    push_bytes_full_ += estimate_config_bytes(config);
+    ++pushes_full_;
+    if (cpm_.full_bytes != nullptr) {
+      cpm_.full_bytes->inc(estimate_config_bytes(config));
+    }
+    state.force_full = false;
+  }
   const bool lost = cp.push_loss > 0.0 && push_rng_.uniform() < cp.push_loss;
   sim::Duration latency = cp.push_latency_base;
   if (cp.push_latency_jitter > 0) {
@@ -173,15 +213,24 @@ void ControlPlane::launch_push(Sidecar& sidecar) {
   }
   if (latency <= 0) {
     // Legacy inline path: zero-latency channel, synchronous apply + ack.
-    deliver_push(pod, std::move(config), hash);
+    if (use_delta) {
+      deliver_delta(pod, std::move(delta), std::move(config), hash);
+    } else {
+      deliver_push(pod, std::move(config), hash);
+    }
     return;
   }
   state.delivery_timer = sim_.schedule_after(
-      latency, [this, pod, config = std::move(config), hash]() mutable {
+      latency, [this, pod, use_delta, delta = std::move(delta),
+                config = std::move(config), hash]() mutable {
         const auto it = push_state_.find(pod);
         if (it == push_state_.end()) return;
         it->second.delivery_timer = sim::kInvalidEventId;
-        deliver_push(pod, std::move(config), hash);
+        if (use_delta) {
+          deliver_delta(pod, std::move(delta), std::move(config), hash);
+        } else {
+          deliver_push(pod, std::move(config), hash);
+        }
       });
   state.ack_timer = sim_.schedule_after(cp.ack_timeout, [this, pod] {
     const auto it = push_state_.find(pod);
@@ -196,11 +245,48 @@ void ControlPlane::deliver_push(const std::string& pod_name,
   Sidecar* sidecar = sidecar_for(pod_name);
   if (sidecar == nullptr) return;
   const std::uint64_t config_epoch = config.epoch;
+  std::shared_ptr<const SidecarConfig> applied;
+  if (policies_.cp.delta_push) {
+    applied = std::make_shared<const SidecarConfig>(config);
+  }
   if (sidecar->apply_config(std::move(config))) {
+    if (applied != nullptr) {
+      push_state_[pod_name].acked_config = std::move(applied);
+    }
     handle_ack(pod_name, config_epoch, hash);
   } else {
     handle_nack(pod_name, config_epoch, sidecar->last_config_error());
   }
+}
+
+void ControlPlane::deliver_delta(const std::string& pod_name,
+                                 ConfigDelta delta, SidecarConfig target,
+                                 std::uint64_t hash) {
+  Sidecar* sidecar = sidecar_for(pod_name);
+  if (sidecar == nullptr) return;
+  const std::uint64_t config_epoch = delta.epoch;
+  if (sidecar->apply_config_delta(delta)) {
+    push_state_[pod_name].acked_config =
+        std::make_shared<const SidecarConfig>(std::move(target));
+    handle_ack(pod_name, config_epoch, hash);
+    return;
+  }
+  const std::string error = sidecar->last_config_error();
+  if (error == "delta-base-mismatch" || error == "delta-target-mismatch") {
+    // A transport artefact — the base this delta assumed never stuck, or
+    // drifted — not a poison config, so no rollback: forget the base and
+    // re-push the full snapshot immediately.
+    ++delta_fallbacks_;
+    if (cpm_.delta_fallbacks != nullptr) cpm_.delta_fallbacks->inc();
+    record_event(obs::EventKind::kControlPlane, "push:" + pod_name,
+                 "delta fallback: " + error);
+    PushState& state = push_state_[pod_name];
+    state.acked_config.reset();
+    state.force_full = true;
+    if (!crashed_) launch_push(*sidecar);
+    return;
+  }
+  handle_nack(pod_name, config_epoch, error);
 }
 
 void ControlPlane::handle_ack(const std::string& pod_name,
@@ -317,6 +403,7 @@ void ControlPlane::check_convergence() {
   last_good_policies_ = policies_;
   have_last_good_ = true;
   rollback_armed_ = true;
+  last_converged_at_ = sim_.now();
   if (pending_reconverge_) {
     pending_reconverge_ = false;
     last_reconverge_ = sim_.now() - recovered_at_;
@@ -454,9 +541,27 @@ void ControlPlane::update_staleness_gauges() {
   }
 }
 
-SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
+namespace {
+
+/// Does `service`'s scope admit `cluster`? No scope entry = admit all.
+bool scope_allows(
+    const std::map<std::string, std::vector<std::string>>& scopes,
+    const std::string& service, const std::string& cluster) {
+  const auto it = scopes.find(service);
+  if (it == scopes.end()) return true;
+  return std::find(it->second.begin(), it->second.end(), cluster) !=
+         it->second.end();
+}
+
+}  // namespace
+
+SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) {
   SidecarConfig config;
   config.service_name = sidecar.config().service_name;
+  // Listener identity is deliberately left at defaults: apply_config
+  // pins those fields to the live sidecar's values and the config
+  // fingerprint excludes them (see hash_policy_section), so a compiled
+  // config and the applied one fingerprint identically either way.
   config.epoch = epoch_;
   const auto cert_it = certs_.find(config.service_name);
   if (cert_it != certs_.end()) config.identity_cert = cert_it->second;
@@ -471,7 +576,12 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
   config.proxy_overhead_base = policies_.proxy_overhead_base;
   config.proxy_overhead_jitter = policies_.proxy_overhead_jitter;
 
+  const std::string pod_name = sidecar.pod().name();
   for (const cluster::ServiceInfo* info : cluster_.registry().services()) {
+    if (!scope_allows(policies_.cluster_scopes, config.service_name,
+                      info->name)) {
+      continue;
+    }
     ClusterSpec spec;
     spec.name = info->name;
     spec.endpoints = info->endpoints;
@@ -480,6 +590,47 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) const {
     spec.lb = policies_.default_lb;
     const auto lb_it = policies_.lb_overrides.find(info->name);
     if (lb_it != policies_.lb_overrides.end()) spec.lb = lb_it->second;
+    if (policies_.subset.enabled && policies_.subset.subset_size > 0 &&
+        static_cast<std::size_t>(policies_.subset.subset_size) <
+            spec.endpoints.size()) {
+      // Every sidecar whose scope admits this cluster subscribes to it;
+      // the subset function is pure, so recomputing it per compile gives
+      // every subscriber a consistent view of the same assignment.
+      std::vector<std::string> subscribers;
+      subscribers.reserve(sidecars_.size());
+      for (const auto& other : sidecars_) {
+        if (scope_allows(policies_.cluster_scopes,
+                         other->config().service_name, info->name)) {
+          subscribers.push_back(other->pod().name());
+        }
+      }
+      std::sort(subscribers.begin(), subscribers.end());
+      const auto subsets = compute_endpoint_subsets(
+          info->name, spec.endpoints, subscribers,
+          policies_.subset.subset_size);
+      const auto sub_it = subsets.find(pod_name);
+      if (sub_it != subsets.end() &&
+          sub_it->second.size() < spec.endpoints.size()) {
+        std::vector<cluster::Endpoint> chosen;
+        chosen.reserve(sub_it->second.size());
+        for (const std::size_t index : sub_it->second) {
+          chosen.push_back(spec.endpoints[index]);
+        }
+        if (cpm_.subset_assignments != nullptr) {
+          cpm_.subset_assignments->inc(chosen.size());
+        }
+        if (cpm_.subset_repairs != nullptr &&
+            chosen.size() >
+                static_cast<std::size_t>(policies_.subset.subset_size)) {
+          // Aperture gives exactly subset_size endpoints; anything above
+          // that was grafted on by the coverage-repair pass.
+          cpm_.subset_repairs->inc(
+              chosen.size() -
+              static_cast<std::size_t>(policies_.subset.subset_size));
+        }
+        spec.endpoints = std::move(chosen);
+      }
+    }
     config.clusters.emplace(info->name, std::move(spec));
   }
   if (compile_mutator_) compile_mutator_(sidecar.pod().name(), config);

@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "mesh/config_delta.h"
 #include "mesh/sidecar.h"
+#include "mesh/subset.h"
 #include "mesh/telemetry.h"
 #include "mesh/tracing.h"
 #include "obs/metric_registry.h"
@@ -59,6 +61,11 @@ struct ControlPlaneConfig {
   /// the lifetime remains (e.g. 0.2 rotates at 80% of lifetime). 0
   /// disables rotation — certs are issued once, at injection.
   double cert_refresh_ahead = 0.0;
+  /// Incremental (xDS delta-style) config push: once a sidecar has acked
+  /// a config, later pushes carry only the changed clusters/routes (see
+  /// mesh/config_delta.h) instead of the full snapshot. Off by default —
+  /// full-snapshot semantics, bit-identical to the legacy channel.
+  bool delta_push = false;
 };
 
 /// Operator-defined, mesh-wide policy.
@@ -76,6 +83,14 @@ struct MeshPolicies {
   std::map<TrafficClass, TrafficClassPolicy> class_policies;
   /// Per-cluster LB overrides (cluster name -> policy).
   std::map<std::string, LbPolicy> lb_overrides;
+  /// Deterministic endpoint subsetting: bounds how many endpoints of one
+  /// cluster a single sidecar tracks (off by default; see mesh/subset.h).
+  SubsetConfig subset;
+  /// Cluster scoping (Istio's Sidecar resource): if a service has an
+  /// entry, its sidecars' configs contain only the listed clusters —
+  /// bounding per-sidecar state and health-check fan-out to the services
+  /// it actually calls. No entry = every cluster (legacy behaviour).
+  std::map<std::string, std::vector<std::string>> cluster_scopes;
   std::uint32_t transport_mss = 1460;
   std::size_t max_pool_connections = 256;
   sim::Duration certificate_lifetime = sim::seconds(24 * 3600);
@@ -92,10 +107,25 @@ struct MeshPolicies {
       upstream_connection_hook;
 };
 
+/// How one sidecar attaches to a pod. When the mesh is built from a
+/// cluster::MeshSpec (app/mesh_spec.h) these are spec data: the spec is
+/// the single source of truth and MeshBuilder derives the matching
+/// app::MicroserviceOptions from the same fields — hand-wiring both and
+/// keeping the duplicated port defaults in sync is the legacy path the
+/// builder replaces.
 struct SidecarInjectionOptions {
   net::Port app_port = 8080;
   bool gateway_mode = false;
   net::Port outbound_port = 15001;  ///< gateway exposes this port
+
+  /// Spec-roundtrip constructor: the ingress-gateway flavour (no local
+  /// app; the outbound listener is exposed on `port`).
+  static SidecarInjectionOptions gateway(net::Port port) {
+    SidecarInjectionOptions options;
+    options.gateway_mode = true;
+    options.outbound_port = port;
+    return options;
+  }
 };
 
 class ControlPlane {
@@ -185,6 +215,26 @@ class ControlPlane {
   Sidecar* sidecar_for(const std::string& pod_name);
   std::uint64_t pushes() const noexcept { return pushes_; }
 
+  /// Push-channel byte accounting (modelled wire sizes, see
+  /// mesh/config_delta.h). Full-snapshot pushes and delta pushes are
+  /// tallied separately so experiments can compare the two transports;
+  /// `delta_fallbacks` counts deltas that missed their base and were
+  /// re-sent as full snapshots.
+  struct PushChannelBytes {
+    std::uint64_t full_bytes = 0;
+    std::uint64_t delta_bytes = 0;
+    std::uint64_t full_pushes = 0;
+    std::uint64_t delta_pushes = 0;
+    std::uint64_t delta_fallbacks = 0;
+  };
+  PushChannelBytes push_channel_bytes() const noexcept {
+    return {push_bytes_full_, push_bytes_delta_, pushes_full_, pushes_delta_,
+            delta_fallbacks_};
+  }
+  /// Sim time when the mesh most recently reached full convergence
+  /// (every sidecar acked the then-current epoch); 0 until then.
+  sim::Time last_converged_at() const noexcept { return last_converged_at_; }
+
  private:
   /// Per-sidecar push channel state, keyed by pod name.
   struct PushState {
@@ -196,9 +246,15 @@ class ControlPlane {
     sim::EventId ack_timer = sim::kInvalidEventId;
     sim::EventId retry_timer = sim::kInvalidEventId;
     bool partitioned = false;
+    /// Last config this sidecar acked, kept only under cp.delta_push:
+    /// the base future deltas are diffed against.
+    std::shared_ptr<const SidecarConfig> acked_config;
+    /// Forces the next push to carry a full snapshot (set after a delta
+    /// base/target mismatch; cleared once a full push is launched).
+    bool force_full = false;
   };
 
-  SidecarConfig compile_config(const Sidecar& sidecar) const;
+  SidecarConfig compile_config(const Sidecar& sidecar);
   void poll_registry();
   /// Mints the next epoch and records the registry version it covers.
   void begin_epoch();
@@ -207,6 +263,11 @@ class ControlPlane {
   void launch_push(Sidecar& sidecar);
   void deliver_push(const std::string& pod_name, SidecarConfig config,
                     std::uint64_t hash);
+  /// Delivers an incremental push; on base/target mismatch falls back to
+  /// an immediate full-snapshot re-push (no rollback — the mismatch is a
+  /// transport artefact, not a poison config).
+  void deliver_delta(const std::string& pod_name, ConfigDelta delta,
+                     SidecarConfig target, std::uint64_t hash);
   void handle_ack(const std::string& pod_name, std::uint64_t epoch,
                   std::uint64_t hash);
   void handle_nack(const std::string& pod_name, std::uint64_t epoch,
@@ -251,6 +312,14 @@ class ControlPlane {
   bool pending_reconverge_ = false;
   sim::Time recovered_at_ = 0;
   sim::Duration last_reconverge_ = 0;
+  sim::Time last_converged_at_ = 0;
+  /// Push-channel byte tallies (counted when a push actually enters the
+  /// channel — noop-skips, partitions and crashes transfer nothing).
+  std::uint64_t push_bytes_full_ = 0;
+  std::uint64_t push_bytes_delta_ = 0;
+  std::uint64_t pushes_full_ = 0;
+  std::uint64_t pushes_delta_ = 0;
+  std::uint64_t delta_fallbacks_ = 0;
   /// When the oldest un-pushed registry change landed (0 = caught up).
   sim::Time pending_change_since_ = 0;
   sim::EventId poll_timer_ = sim::kInvalidEventId;
@@ -273,6 +342,15 @@ class ControlPlane {
     obs::Gauge* epoch = nullptr;
     obs::Gauge* stale = nullptr;
     obs::Gauge* reconverge_ms = nullptr;
+    // Created only when cp.delta_push is enabled (registry stays
+    // byte-identical for legacy meshes).
+    obs::Counter* delta_pushes = nullptr;
+    obs::Counter* delta_fallbacks = nullptr;
+    obs::Counter* delta_bytes = nullptr;
+    obs::Counter* full_bytes = nullptr;
+    // Created only when policies.subset is enabled.
+    obs::Counter* subset_assignments = nullptr;
+    obs::Counter* subset_repairs = nullptr;
   } cpm_;
 };
 

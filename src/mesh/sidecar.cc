@@ -4,6 +4,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "mesh/config_delta.h"
 #include "util/logging.h"
 
 namespace meshnet::mesh {
@@ -126,13 +127,41 @@ struct ConfigHasher {
 
 }  // namespace
 
+std::uint64_t hash_cluster_spec(const ClusterSpec& spec) {
+  ConfigHasher f;
+  f.mix(spec.name);
+  f.mix(spec.lb);
+  f.mix(spec.breaker.consecutive_failures);
+  f.mix(spec.breaker.open_duration);
+  f.mix(spec.breaker.half_open_probes);
+  f.mix(spec.subset_fallback);
+  const HealthCheckConfig& hc = spec.health_check;
+  f.mix(hc.enabled);
+  f.mix(hc.interval);
+  f.mix(hc.timeout);
+  f.mix(hc.unhealthy_threshold);
+  f.mix(hc.healthy_threshold);
+  f.mix(hc.path);
+  f.mix(hc.flap_max_transitions);
+  f.mix(hc.flap_window);
+  f.mix(hc.flap_penalty);
+  f.mix(spec.endpoints.size());
+  for (const cluster::Endpoint& ep : spec.endpoints) {
+    f.mix(ep.pod_name);
+    f.mix(ep.ip);
+    f.mix(ep.port);
+    f.mix(ep.labels.size());
+    for (const auto& [k, v] : ep.labels) {
+      f.mix(k);
+      f.mix(v);
+    }
+  }
+  return f.h;
+}
+
 std::uint64_t hash_sidecar_config(const SidecarConfig& c) {
   ConfigHasher f;
-  f.mix(c.service_name);
-  f.mix(c.app_port);
-  f.mix(c.inbound_port);
-  f.mix(c.outbound_port);
-  f.mix(c.gateway_mode);
+  f.mix(hash_policy_section(c));
   f.mix(c.routes.size());
   for (const auto& [host, target] : c.routes) {
     f.mix(host);
@@ -141,34 +170,20 @@ std::uint64_t hash_sidecar_config(const SidecarConfig& c) {
   f.mix(c.clusters.size());
   for (const auto& [name, spec] : c.clusters) {
     f.mix(name);
-    f.mix(spec.name);
-    f.mix(spec.lb);
-    f.mix(spec.breaker.consecutive_failures);
-    f.mix(spec.breaker.open_duration);
-    f.mix(spec.breaker.half_open_probes);
-    f.mix(spec.subset_fallback);
-    const HealthCheckConfig& hc = spec.health_check;
-    f.mix(hc.enabled);
-    f.mix(hc.interval);
-    f.mix(hc.timeout);
-    f.mix(hc.unhealthy_threshold);
-    f.mix(hc.healthy_threshold);
-    f.mix(hc.path);
-    f.mix(hc.flap_max_transitions);
-    f.mix(hc.flap_window);
-    f.mix(hc.flap_penalty);
-    f.mix(spec.endpoints.size());
-    for (const cluster::Endpoint& ep : spec.endpoints) {
-      f.mix(ep.pod_name);
-      f.mix(ep.ip);
-      f.mix(ep.port);
-      f.mix(ep.labels.size());
-      for (const auto& [k, v] : ep.labels) {
-        f.mix(k);
-        f.mix(v);
-      }
-    }
+    f.mix(hash_cluster_spec(spec));
   }
+  return f.h;
+}
+
+std::uint64_t hash_policy_section(const SidecarConfig& c) {
+  ConfigHasher f;
+  f.mix(c.service_name);
+  // Listener identity (app/inbound/outbound ports, gateway mode) is
+  // excluded: apply_config pins those fields to the live sidecar's
+  // values, so a control-plane-compiled config and the config the
+  // sidecar actually runs must fingerprint identically for the delta
+  // channel's base/target verification to work. They are immutable
+  // post-start, so excluding them can never mask a real change.
   f.mix(c.retry.max_retries);
   f.mix(c.retry.per_try_timeout);
   f.mix(c.retry.retry_on_5xx);
@@ -249,6 +264,34 @@ bool Sidecar::apply_config(SidecarConfig config) {
         config_.service_name, config_.admission,
         telemetry_ != nullptr ? &telemetry_->registry() : nullptr);
   }
+  return true;
+}
+
+bool Sidecar::apply_config_delta(const ConfigDelta& delta) {
+  if (delta.epoch != 0 && delta.epoch < config_.epoch) {
+    ++stats_.configs_rejected;
+    last_config_error_ = "stale-epoch";
+    return false;
+  }
+  if (hash_sidecar_config(config_) != delta.base_hash) {
+    // The control plane diffed against a config this sidecar is not
+    // running (e.g. a direct test poke mutated local state). Refuse —
+    // blindly patching an unknown base could route to stale endpoints —
+    // and let the control plane fall back to a full push.
+    ++stats_.configs_rejected;
+    ++stats_.delta_mismatches;
+    last_config_error_ = "delta-base-mismatch";
+    return false;
+  }
+  SidecarConfig candidate = mesh::apply_config_delta(config_, delta);
+  if (hash_sidecar_config(candidate) != delta.target_hash) {
+    ++stats_.configs_rejected;
+    ++stats_.delta_mismatches;
+    last_config_error_ = "delta-target-mismatch";
+    return false;
+  }
+  if (!apply_config(std::move(candidate))) return false;
+  ++stats_.deltas_applied;
   return true;
 }
 

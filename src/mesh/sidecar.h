@@ -177,8 +177,21 @@ std::string validate_config(const SidecarConfig& config);
 /// epochs with identical payloads hash equal, which is what lets the
 /// control plane skip no-op pushes); the certificate serial is included
 /// so rotation propagates as a real push. Hooks contribute only their
-/// presence (std::function has no stable content identity).
+/// presence (std::function has no stable content identity). Composed
+/// from hash_policy_section + per-cluster hash_cluster_spec, so the
+/// delta push (mesh/config_delta.h) diffs with the same fingerprints
+/// the no-op skip uses.
 std::uint64_t hash_sidecar_config(const SidecarConfig& config);
+
+/// Fingerprint of one cluster's spec (endpoints, LB, breaker, health
+/// check) — the unit of change a ConfigDelta upserts.
+std::uint64_t hash_cluster_spec(const ClusterSpec& spec);
+
+/// Fingerprint of everything in a config that is neither a cluster nor a
+/// route (identity, retry, timeouts, admission, authz, transport, cert).
+std::uint64_t hash_policy_section(const SidecarConfig& config);
+
+struct ConfigDelta;  // mesh/config_delta.h
 
 struct SidecarStats {
   std::uint64_t inbound_requests = 0;
@@ -194,6 +207,10 @@ struct SidecarStats {
   std::uint64_t health_probes_answered = 0;
   std::uint64_t configs_applied = 0;
   std::uint64_t configs_rejected = 0;  ///< invalid or stale-epoch pushes
+  std::uint64_t deltas_applied = 0;    ///< incremental pushes applied
+  /// Delta pushes refused because the base/target fingerprint did not
+  /// match (the control plane falls back to a full push).
+  std::uint64_t delta_mismatches = 0;
   /// Second-level panic picks: every health-admitted endpoint was
   /// breaker-rejected, so the pick fell back to the full endpoint set.
   std::uint64_t panic_picks = 0;
@@ -216,6 +233,14 @@ class Sidecar {
   /// (validate_config) or stale (an epoch the sidecar already moved
   /// past); `last_config_error()` then says why.
   bool apply_config(SidecarConfig config);
+
+  /// Applies an incremental push (mesh/config_delta.h): reconstructs the
+  /// full candidate from the running config + delta, verifies the
+  /// base/target fingerprints, and funnels it through apply_config.
+  /// Returns false on stale epoch, fingerprint mismatch
+  /// ("delta-base-mismatch" / "delta-target-mismatch" — the control
+  /// plane falls back to a full push) or validation failure.
+  bool apply_config_delta(const ConfigDelta& delta);
 
   /// Config generation currently applied (0 until a versioned push).
   std::uint64_t config_epoch() const noexcept { return config_.epoch; }

@@ -1,0 +1,49 @@
+#pragma once
+
+// Deterministic endpoint subsetting (MESHSCALE, DESIGN.md §13).
+//
+// At N services x R replicas, pushing every endpoint of every cluster to
+// every sidecar makes per-sidecar state — and active health-check fan-out
+// — grow as O(N^2 R). Subsetting bounds it: each sidecar tracks at most
+// `subset_size` endpoints per cluster, chosen by a deterministic aperture
+// on a hash ring (Twitter's "deterministic aperture" idea, simplified):
+//
+//   * subscriber s's aperture into cluster c starts at
+//     FNV(s + "|" + c) mod n and takes `subset_size` consecutive
+//     endpoints (wrapping) — no coordination, stable under recompiles;
+//   * a coverage-repair pass then assigns every endpoint missed by all
+//     apertures to the subscriber with the smallest subset (lexicographic
+//     subscriber order breaks ties), so no endpoint is unreachable
+//     mesh-wide.
+//
+// The function is pure: same (cluster, endpoints, subscribers, size) in,
+// same subsets out, on any host at any thread count. The control plane
+// calls it per cluster at compile time; tests call it directly.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/service_registry.h"
+
+namespace meshnet::mesh {
+
+/// Operator knob carried in MeshPolicies. Disabled by default: every
+/// existing experiment sees the full endpoint set, bit-identically.
+struct SubsetConfig {
+  bool enabled = false;
+  /// Max endpoints of one cluster a single sidecar tracks (<= 0 = all).
+  int subset_size = 0;
+};
+
+/// subscriber name -> sorted indices into `endpoints`. Every endpoint is
+/// covered by at least one subscriber (coverage repair); every subscriber
+/// gets at least min(subset_size, n) endpoints. With subset_size <= 0 or
+/// >= endpoints.size(), every subscriber gets every endpoint.
+std::map<std::string, std::vector<std::size_t>> compute_endpoint_subsets(
+    const std::string& cluster_name,
+    const std::vector<cluster::Endpoint>& endpoints,
+    const std::vector<std::string>& subscribers, int subset_size);
+
+}  // namespace meshnet::mesh

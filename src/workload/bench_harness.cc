@@ -267,4 +267,56 @@ PointMetrics parsim_point_metrics(const ParsimExperimentResult& result) {
   return metrics;
 }
 
+PointMetrics meshscale_point_metrics(const MeshscaleExperimentResult& result) {
+  PointMetrics metrics;
+  // Workload surface.
+  metrics.counters["requests_generated"] = result.requests_generated;
+  metrics.counters["responses"] = result.responses;
+  metrics.counters["successes"] = result.successes;
+  metrics.counters["failures"] = result.failures;
+  metrics.scalars["success_rate"] =
+      result.responses > 0 ? static_cast<double>(result.successes) /
+                                 static_cast<double>(result.responses)
+                           : 0.0;
+  // The e2e histogram is recorded in MICROSECONDS (see the experiment).
+  metrics.scalars["e2e_p50_ms"] =
+      static_cast<double>(result.e2e_latency.percentile(50.0)) / 1000.0;
+  metrics.scalars["e2e_p99_ms"] =
+      static_cast<double>(result.e2e_latency.percentile(99.0)) / 1000.0;
+  metrics.scalars["e2e_mean_ms"] = result.e2e_latency.mean() / 1000.0;
+  metrics.histograms["e2e_latency_us"] = result.e2e_latency;
+  metrics.snapshot = result.metrics;
+  // Control-plane push-channel surface.
+  metrics.counters["cp_epochs"] = result.epochs;
+  metrics.counters["cp_pushes"] = result.cp_pushes;
+  metrics.counters["cp_full_pushes"] = result.bytes.full_pushes;
+  metrics.counters["cp_delta_pushes"] = result.bytes.delta_pushes;
+  metrics.counters["cp_delta_fallbacks"] = result.bytes.delta_fallbacks;
+  metrics.counters["cp_full_push_bytes"] = result.bytes.full_bytes;
+  metrics.counters["cp_delta_push_bytes"] = result.bytes.delta_bytes;
+  metrics.counters["cp_churn_push_bytes"] =
+      result.churn_bytes.full_bytes + result.churn_bytes.delta_bytes;
+  metrics.counters["cp_churn_pushes"] =
+      result.churn_bytes.full_pushes + result.churn_bytes.delta_pushes;
+  metrics.counters["cp_converged"] = result.converged ? 1 : 0;
+  metrics.scalars["churn_convergence_ms"] =
+      sim::to_milliseconds(result.churn_convergence);
+  // Per-sidecar endpoint-table sizes (what scoping/subsetting bound).
+  metrics.counters["sidecars"] = result.sidecars;
+  metrics.counters["endpoint_entries"] = result.endpoint_entries;
+  metrics.counters["max_endpoints_per_sidecar"] =
+      result.max_endpoints_per_sidecar;
+  metrics.scalars["mean_endpoints_per_sidecar"] =
+      result.sidecars > 0 ? static_cast<double>(result.endpoint_entries) /
+                                static_cast<double>(result.sidecars)
+                          : 0.0;
+  // Shape + engine surface (thread-invariant for a fixed cell count).
+  metrics.counters["services"] = static_cast<std::uint64_t>(result.services);
+  metrics.counters["cells"] = static_cast<std::uint64_t>(result.cells);
+  metrics.counters["events"] = result.events_executed;
+  metrics.counters["engine_epochs"] = result.engine.epochs;
+  metrics.counters["engine_messages"] = result.engine.messages;
+  return metrics;
+}
+
 }  // namespace meshnet::workload

@@ -27,6 +27,7 @@
 #include "util/flags.h"
 #include "workload/cp_chaos_experiment.h"
 #include "workload/elibrary_experiment.h"
+#include "workload/meshscale_experiment.h"
 #include "workload/overload_experiment.h"
 #include "workload/parsim_experiment.h"
 #include "workload/sweep_runner.h"
@@ -93,5 +94,13 @@ PointMetrics cp_point_metrics(const CpChaosExperimentResult& result);
 /// count). Shared by bench/bench_parsim and the determinism tests so both
 /// compare the same surface.
 PointMetrics parsim_point_metrics(const ParsimExperimentResult& result);
+
+/// The standard metric set for one MESHSCALE arm: workload counters and
+/// the e2e latency histogram, the control-plane push-channel surface
+/// (full/delta pushes and bytes, churn-window bytes, reconvergence),
+/// per-sidecar endpoint-table sizes, and the engine shape. Shared by
+/// bench/bench_meshscale and the determinism checks so both compare the
+/// same surface.
+PointMetrics meshscale_point_metrics(const MeshscaleExperimentResult& result);
 
 }  // namespace meshnet::workload
