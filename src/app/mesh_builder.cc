@@ -59,6 +59,14 @@ std::unique_ptr<BuiltMesh> MeshBuilder::build(MeshSpec spec,
       }
     }
   }
+  // Per-service mtls knobs compile into override entries (explicit
+  // policy entries win, mirroring cluster scopes above).
+  for (const ServiceSpec& service : spec.services) {
+    if (service.mtls != MtlsMode::kInherit) {
+      policies.mtls_overrides.emplace(service.name,
+                                      service.mtls == MtlsMode::kOn);
+    }
+  }
   mesh->control_plane_ = std::make_unique<mesh::ControlPlane>(
       sim_, *mesh->cluster_, std::move(policies));
 

@@ -33,6 +33,11 @@ namespace meshnet::cluster {
 /// One service: `replicas` pods (named "<name>-v1", "<name>-v2", ...),
 /// each with a sidecar, plus an app container per replica when `handler`
 /// is set.
+/// Per-service mTLS stance. kInherit follows the mesh-wide default
+/// (MeshPolicies::tls.enabled); kOn/kOff compile into an explicit
+/// MeshPolicies::mtls_overrides entry for this service.
+enum class MtlsMode { kInherit, kOff, kOn };
+
 struct ServiceSpec {
   std::string name;
   int replicas = 1;
@@ -53,6 +58,9 @@ struct ServiceSpec {
   /// (dangling targets are an error) and, with derive_cluster_scopes,
   /// compiled into MeshPolicies::cluster_scopes.
   std::vector<std::string> calls;
+  /// mTLS on this service's inbound listener (and, transitively, on
+  /// every client cluster that targets it). kInherit = mesh default.
+  MtlsMode mtls = MtlsMode::kInherit;
   /// vNIC defaults for every replica.
   PodOptions pod;
   /// Per-replica overrides (labels, bottleneck links); when non-empty it

@@ -22,6 +22,8 @@ std::string_view fault_action_name(FaultAction action) noexcept {
       return "deregister";
     case FaultAction::kDegradePod:
       return "degrade";
+    case FaultAction::kResetConnections:
+      return "reset-connections";
     case FaultAction::kCpCrash:
       return "cp-crash";
     case FaultAction::kCpRestart:
@@ -53,6 +55,12 @@ FaultPlan& FaultPlan::degrade(sim::Time at, std::string pod,
                               double multiplier) {
   entries_.push_back({at, FaultAction::kDegradePod, std::move(pod),
                       multiplier});
+  return *this;
+}
+
+FaultPlan& FaultPlan::reset_connections(sim::Time at, std::string pod) {
+  entries_.push_back({at, FaultAction::kResetConnections, std::move(pod),
+                      0.0});
   return *this;
 }
 
@@ -213,6 +221,9 @@ bool ChaosController::execute_pod_fault(cluster::Pod& pod, FaultAction action,
       return cluster_.deregister_pod(target);
     case FaultAction::kDegradePod:
       pod.set_compute_multiplier(value);
+      return true;
+    case FaultAction::kResetConnections:
+      pod.transport().reset_all_connections();
       return true;
     default:
       return false;  // CP actions never reach here

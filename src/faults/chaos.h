@@ -39,6 +39,7 @@ enum class FaultAction {
   kRestartPod,
   kDeregisterPod,
   kDegradePod,  ///< value = compute multiplier (1.0 restores)
+  kResetConnections,  ///< abort every transport connection on the pod
   // Control-plane faults. faults/ never sees mesh/, so these dispatch
   // through hooks the experiment layer registers (see CpHooks); without
   // hooks they log as not-applied.
@@ -68,6 +69,10 @@ class FaultPlan {
   FaultPlan& restart(sim::Time at, std::string pod);
   FaultPlan& deregister(sim::Time at, std::string pod);
   FaultPlan& degrade(sim::Time at, std::string pod, double multiplier);
+  /// Abort all of the pod's transport connections (process restart: TCP
+  /// state lost, RSTs notify peers). Pair with restart() at the same time
+  /// to model a full pod bounce that severs established flows.
+  FaultPlan& reset_connections(sim::Time at, std::string pod);
   FaultPlan& link_down(sim::Time at, std::string pod);
   FaultPlan& link_up(sim::Time at, std::string pod);
   /// Bernoulli packet loss on the pod's vNICs during [from, until).

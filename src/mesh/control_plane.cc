@@ -555,6 +555,12 @@ bool scope_allows(
 
 }  // namespace
 
+bool ControlPlane::mtls_enabled_for(const std::string& service) const {
+  const auto it = policies_.mtls_overrides.find(service);
+  return it != policies_.mtls_overrides.end() ? it->second
+                                              : policies_.tls.enabled;
+}
+
 SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) {
   SidecarConfig config;
   config.service_name = sidecar.config().service_name;
@@ -575,6 +581,11 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) {
   config.upstream_connection_hook = policies_.upstream_connection_hook;
   config.proxy_overhead_base = policies_.proxy_overhead_base;
   config.proxy_overhead_jitter = policies_.proxy_overhead_jitter;
+  // Server side of mTLS: this sidecar's inbound listener accepts TLS iff
+  // its own service resolves to mtls-on. The crypto cost knobs travel
+  // with the config either way so a later override flip is a pure delta.
+  config.tls = policies_.tls;
+  config.tls.enabled = mtls_enabled_for(config.service_name);
 
   const std::string pod_name = sidecar.pod().name();
   for (const cluster::ServiceInfo* info : cluster_.registry().services()) {
@@ -585,6 +596,9 @@ SidecarConfig ControlPlane::compile_config(const Sidecar& sidecar) {
     ClusterSpec spec;
     spec.name = info->name;
     spec.endpoints = info->endpoints;
+    // Client side of mTLS: initiate TLS to clusters whose *target*
+    // service runs an mTLS-accepting inbound listener.
+    spec.mtls = mtls_enabled_for(info->name);
     spec.breaker = policies_.breaker;
     spec.health_check = policies_.health_check;
     spec.lb = policies_.default_lb;

@@ -91,6 +91,14 @@ struct MeshPolicies {
   /// bounding per-sidecar state and health-check fan-out to the services
   /// it actually calls. No entry = every cluster (legacy behaviour).
   std::map<std::string, std::vector<std::string>> cluster_scopes;
+  /// TLS session layer (mesh/tls_session.h). `tls.enabled` is the
+  /// mesh-wide mTLS default; per-service exceptions go in
+  /// `mtls_overrides` (service -> on/off). compile_config resolves the
+  /// effective value per service into both the server side (the
+  /// sidecar's inbound listener accepts TLS) and the client side (every
+  /// cluster targeting that service carries ClusterSpec::mtls).
+  TlsParams tls;
+  std::map<std::string, bool> mtls_overrides;
   std::uint32_t transport_mss = 1460;
   std::size_t max_pool_connections = 256;
   sim::Duration certificate_lifetime = sim::seconds(24 * 3600);
@@ -255,6 +263,9 @@ class ControlPlane {
   };
 
   SidecarConfig compile_config(const Sidecar& sidecar);
+  /// Effective mTLS setting for `service`: per-service override if
+  /// present, else the mesh-wide default (policies_.tls.enabled).
+  bool mtls_enabled_for(const std::string& service) const;
   void poll_registry();
   /// Mints the next epoch and records the registry version it covers.
   void begin_epoch();

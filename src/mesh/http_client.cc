@@ -21,6 +21,7 @@ HttpClientPool::~HttpClientPool() {
   // Abort every live connection so the transport host does not deliver
   // into freed slots.
   for (auto& slot : slots_) {
+    if (slot->tls != nullptr) slot->tls->shutdown();
     if (slot->conn != nullptr && !slot->conn->closed()) {
       slot->conn->set_on_closed(nullptr);
       slot->conn->set_on_data(nullptr);
@@ -55,6 +56,7 @@ bool HttpClientPool::cancel(RequestId id) {
       slot->handler = nullptr;
       slot->busy = false;
       --active_;
+      if (slot->tls != nullptr) slot->tls->shutdown();
       if (slot->conn != nullptr) {
         slot->conn->set_on_closed(nullptr);
         slot->conn->set_on_data(nullptr);
@@ -93,12 +95,40 @@ HttpClientPool::Slot* HttpClientPool::create_slot() {
   });
   transport::Connection& conn = host_.connect(remote_, options_.connection);
   raw->conn = &conn;
-  conn.set_on_data([raw](std::string_view data) {
-    if (!raw->parser->feed(data)) {
-      MESHNET_WARN() << "http client: response parse error";
-    }
-  });
   transport::Connection* conn_ptr = &conn;
+  if (options_.tls.enabled) {
+    auto channel = std::make_shared<TlsChannel>(
+        sim_, TlsChannel::Role::kClient, options_.tls.params,
+        options_.tls.local_cert, options_.tls.runtime, remote_.to_string());
+    raw->tls = channel;
+    channel->set_send_wire([conn_ptr](std::string bytes) {
+      if (!conn_ptr->closed()) conn_ptr->send(std::move(bytes));
+    });
+    channel->set_on_plaintext([raw](std::string_view data) {
+      if (!raw->parser->feed(data)) {
+        MESHNET_WARN() << "http client: response parse error";
+      }
+    });
+    // Delivered through a zero-delay event, so aborting here is safe.
+    channel->set_on_error([this, raw, conn_ptr](const std::string& reason) {
+      raw->close_reason = "tls handshake failed: " + reason;
+      if (!conn_ptr->closed()) {
+        conn_ptr->abort();
+      } else {
+        on_slot_closed(conn_ptr);
+      }
+    });
+    conn.set_on_data([channel](std::string_view data) {
+      channel->on_wire_data(data);
+    });
+    channel->start();
+  } else {
+    conn.set_on_data([raw](std::string_view data) {
+      if (!raw->parser->feed(data)) {
+        MESHNET_WARN() << "http client: response parse error";
+      }
+    });
+  }
   conn.set_on_closed([this, conn_ptr](bool /*graceful*/) {
     on_slot_closed(conn_ptr);
   });
@@ -113,7 +143,11 @@ void HttpClientPool::assign(Slot& slot, Pending pending) {
   slot.request_id = pending.id;
   slot.handler = std::move(pending.handler);
   ++active_;
-  slot.conn->send(http::serialize_request(pending.request));
+  if (slot.tls != nullptr) {
+    slot.tls->send_app_data(http::serialize_request(pending.request));
+  } else {
+    slot.conn->send(http::serialize_request(pending.request));
+  }
 }
 
 void HttpClientPool::dispatch() {
@@ -157,8 +191,11 @@ void HttpClientPool::on_slot_closed(transport::Connection* conn) {
     slot.busy = false;
     --active_;
   }
+  std::string reason = slot.close_reason.empty() ? "upstream connection reset"
+                                                 : std::move(slot.close_reason);
+  if (slot.tls != nullptr) slot.tls->shutdown();
   slots_.erase(it);
-  if (handler) handler(std::nullopt, "upstream connection reset");
+  if (handler) handler(std::nullopt, std::move(reason));
   dispatch();
 }
 
@@ -166,7 +203,10 @@ void HttpClientPool::remove_slot(const Slot& slot) {
   const auto it = std::find_if(
       slots_.begin(), slots_.end(),
       [&](const std::unique_ptr<Slot>& s) { return s.get() == &slot; });
-  if (it != slots_.end()) slots_.erase(it);
+  if (it != slots_.end()) {
+    if ((*it)->tls != nullptr) (*it)->tls->shutdown();
+    slots_.erase(it);
+  }
 }
 
 }  // namespace meshnet::mesh

@@ -21,6 +21,7 @@
 
 #include "http/codec.h"
 #include "http/message.h"
+#include "mesh/tls_session.h"
 #include "net/address.h"
 #include "sim/simulator.h"
 #include "transport/transport_host.h"
@@ -29,12 +30,26 @@ namespace meshnet::mesh {
 
 class HttpClientPool {
  public:
+  /// Client-side mTLS: when enabled, every connection the pool opens
+  /// runs a TlsChannel handshake (resuming from the runtime's ticket
+  /// cache when possible) and requests/responses ride encrypted
+  /// records. `params` and `local_cert` point into the owning sidecar's
+  /// running config so a rotation push reaches the next handshake
+  /// without rewiring the pool.
+  struct TlsClientOptions {
+    bool enabled = false;
+    const TlsParams* params = nullptr;
+    const Certificate* local_cert = nullptr;
+    TlsRuntime* runtime = nullptr;
+  };
+
   struct Options {
     transport::ConnectionOptions connection;
     std::size_t max_connections = 64;
     /// Invoked whenever the pool opens a fresh transport connection
     /// (used by the cross-layer SDN coordinator to advertise flows).
     std::function<void(transport::Connection&)> on_connection_created;
+    TlsClientOptions tls;
   };
 
   /// On success: (response, ""). On transport failure: (nullopt, reason).
@@ -74,6 +89,10 @@ class HttpClientPool {
   struct Slot {
     transport::Connection* conn = nullptr;
     std::unique_ptr<http::HttpParser> parser;
+    std::shared_ptr<TlsChannel> tls;
+    /// Failure detail for the handler when the slot dies (e.g. a TLS
+    /// handshake error); empty means the generic connection reset.
+    std::string close_reason;
     bool busy = false;
     RequestId request_id = 0;
     ResponseHandler handler;

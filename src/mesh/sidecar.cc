@@ -84,6 +84,15 @@ std::string validate_config(const SidecarConfig& config) {
   if (config.request_timeout <= 0) return "non-positive request timeout";
   if (config.retry.max_retries < 0) return "negative max_retries";
   if (config.retry.backoff_base <= 0) return "non-positive backoff base";
+  if (config.tls.enabled) {
+    if (config.tls.max_record_bytes == 0) return "zero TLS record size";
+    if (config.tls.handshake_timeout <= 0) {
+      return "non-positive TLS handshake timeout";
+    }
+    if (config.tls.ticket_lifetime <= 0) {
+      return "non-positive TLS ticket lifetime";
+    }
+  }
   for (const auto& [name, spec] : config.clusters) {
     if (name.empty()) return "unnamed cluster";
     if (spec.name != name) return "cluster name mismatch: " + name;
@@ -145,6 +154,7 @@ std::uint64_t hash_cluster_spec(const ClusterSpec& spec) {
   f.mix(hc.flap_max_transitions);
   f.mix(hc.flap_window);
   f.mix(hc.flap_penalty);
+  f.mix(spec.mtls);
   f.mix(spec.endpoints.size());
   for (const cluster::Endpoint& ep : spec.endpoints) {
     f.mix(ep.pod_name);
@@ -228,6 +238,17 @@ std::uint64_t hash_policy_section(const SidecarConfig& c) {
   f.mix(c.proxy_overhead_jitter);
   f.mix(static_cast<bool>(c.upstream_connection_hook));
   f.mix(c.identity_cert.serial);
+  f.mix(c.tls.enabled);
+  f.mix(c.tls.session_resumption);
+  f.mix(c.tls.handshake_timeout);
+  f.mix(c.tls.handshake_cpu_server);
+  f.mix(c.tls.handshake_cpu_client);
+  f.mix(c.tls.handshake_cpu_resumed);
+  f.mix(c.tls.aead_per_record);
+  f.mix(c.tls.aead_per_kb);
+  f.mix(c.tls.max_record_bytes);
+  f.mix(c.tls.session_cache_capacity);
+  f.mix(c.tls.ticket_lifetime);
   return f.h;
 }
 
@@ -256,6 +277,12 @@ bool Sidecar::apply_config(SidecarConfig config) {
   // Balancers are rebuilt lazily so a changed LB policy takes effect.
   balancers_.clear();
   sync_health_targets();
+  // A push may retune the ticket-cache bound; existing entries are
+  // LRU-evicted if it shrank.
+  if (tls_runtime_ != nullptr) {
+    tls_runtime_->session_cache().set_capacity(
+        config_.tls.session_cache_capacity);
+  }
   // The admission controller carries learned state (the adaptive limit,
   // queued requests), so it is created once on the first enabling push
   // and survives subsequent pushes.
@@ -347,15 +374,23 @@ void Sidecar::accept_session(transport::Connection& conn,
   raw->parser->set_on_request([this, id](http::HttpRequest req) {
     on_session_request(id, std::move(req));
   });
-  conn.set_on_data([this, raw, id](std::string_view data) {
-    if (!raw->parser->feed(data)) {
-      MESHNET_WARN() << "sidecar: request parse error; resetting session";
-      // Abort on a fresh simulator step: aborting here would destroy the
-      // parser that is currently executing.
-      sim_.schedule_after(0, [this, id] {
-        const auto it = sessions_.find(id);
-        if (it != sessions_.end()) it->second->conn->abort();
-      });
+  conn.set_on_data([this, raw, id, direction](std::string_view data) {
+    if (!raw->sniffed) {
+      // First downstream bytes decide the session's framing: a TLS
+      // ClientHello record (type byte 0x01) upgrades the inbound session
+      // to TLS; printable ASCII (an HTTP method, a health probe) stays
+      // plaintext. The listener is deliberately permissive so plaintext
+      // peers keep working while mTLS rolls out across config epochs.
+      raw->sniffed = true;
+      if (direction == FilterDirection::kInbound && config_.tls.enabled &&
+          !data.empty() && static_cast<unsigned char>(data[0]) < 0x20) {
+        setup_server_tls(*raw);
+      }
+    }
+    if (raw->tls != nullptr) {
+      raw->tls->on_wire_data(data);
+    } else {
+      feed_session_parser(*raw, data);
     }
   });
   conn.set_on_closed([this, id](bool /*graceful*/) {
@@ -364,12 +399,77 @@ void Sidecar::accept_session(transport::Connection& conn,
     ServerSession& s = *it->second;
     if (s.try_timer != sim::kInvalidEventId) sim_.cancel(s.try_timer);
     if (s.deadline_timer != sim::kInvalidEventId) sim_.cancel(s.deadline_timer);
-    if (s.busy && s.upstream_pool != nullptr && s.upstream_req != 0) {
-      s.upstream_pool->cancel(s.upstream_req);
-    }
+    if (s.tls != nullptr) s.tls->shutdown();
+    // An upstream cancel suppresses the pool handler, which would leak
+    // the in-flight request's span and telemetry sample: finish the
+    // abandoned request through the finish_outbound funnel (as a 499)
+    // after the session is gone — respond_to_session then no-ops.
+    const bool abandoned_upstream =
+        s.busy && s.upstream_pool != nullptr && s.upstream_req != 0;
+    if (abandoned_upstream) s.upstream_pool->cancel(s.upstream_req);
+    Ctx abandoned = abandoned_upstream ? std::move(s.active) : nullptr;
+    const std::string cluster = s.upstream_cluster;
+    const std::string endpoint = s.upstream_endpoint;
     sessions_.erase(it);
+    if (abandoned != nullptr) {
+      ++stats_.downstream_aborts;
+      http::HttpResponse response;
+      response.status = 499;
+      response.body = "downstream closed mid-request";
+      response.headers.set("x-served-by", config_.service_name + "-sidecar");
+      finish_outbound(id, abandoned, cluster, endpoint, std::move(response));
+    }
   });
   sessions_.emplace(id, std::move(session));
+}
+
+void Sidecar::feed_session_parser(ServerSession& session,
+                                  std::string_view data) {
+  if (!session.parser->feed(data)) {
+    MESHNET_WARN() << "sidecar: request parse error; resetting session";
+    // Abort on a fresh simulator step: aborting here would destroy the
+    // parser that is currently executing.
+    const std::uint64_t id = session.id;
+    sim_.schedule_after(0, [this, id] {
+      const auto it = sessions_.find(id);
+      if (it != sessions_.end()) it->second->conn->abort();
+    });
+  }
+}
+
+void Sidecar::setup_server_tls(ServerSession& session) {
+  const std::uint64_t id = session.id;
+  auto channel = std::make_shared<TlsChannel>(
+      sim_, TlsChannel::Role::kServer, &config_.tls, &config_.identity_cert,
+      &tls_runtime(), /*peer_key=*/"");
+  session.tls = channel;
+  channel->set_send_wire([this, id](std::string bytes) {
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) it->second->conn->send(std::move(bytes));
+  });
+  channel->set_on_plaintext([this, id](std::string_view data) {
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) feed_session_parser(*it->second, data);
+  });
+  // Handshake failures (alert sent, malformed records, timeout) tear the
+  // downstream connection down; the client side surfaces the error
+  // through its pool handler. Delivered via a zero-delay event, so
+  // aborting here is safe.
+  channel->set_on_error([this, id](const std::string& reason) {
+    MESHNET_DEBUG() << "sidecar: inbound TLS error: " << reason;
+    const auto it = sessions_.find(id);
+    if (it != sessions_.end()) it->second->conn->abort();
+  });
+  channel->start();
+}
+
+TlsRuntime& Sidecar::tls_runtime() {
+  if (tls_runtime_ == nullptr) {
+    tls_runtime_ = std::make_unique<TlsRuntime>(
+        telemetry_ != nullptr ? &telemetry_->registry() : nullptr,
+        config_.tls.session_cache_capacity);
+  }
+  return *tls_runtime_;
 }
 
 void Sidecar::on_session_request(std::uint64_t session_id,
@@ -423,6 +523,11 @@ void Sidecar::process_request_now(std::uint64_t session_id,
   ctx->start_time = sim_.now();
   ctx->source_service =
       ctx->request.headers.get_or(http::headers::Id::kMeshSource, "");
+  // Remember the active context so a downstream close mid-request can
+  // still finish it (and close its span) through finish_outbound.
+  if (const auto sit = sessions_.find(session_id); sit != sessions_.end()) {
+    sit->second->active = ctx;
+  }
 
   // Health probes are answered by the sidecar itself, before the filter
   // chain (authorization must not 403 them) and without touching the app:
@@ -531,6 +636,7 @@ void Sidecar::respond_to_session(std::uint64_t session_id, const Ctx& /*ctx*/,
   ServerSession& session = *it->second;
   session.upstream_pool = nullptr;
   session.upstream_req = 0;
+  session.active.reset();
   if (session.try_timer != sim::kInvalidEventId) {
     sim_.cancel(session.try_timer);
     session.try_timer = sim::kInvalidEventId;
@@ -548,7 +654,11 @@ void Sidecar::respond_to_session(std::uint64_t session_id, const Ctx& /*ctx*/,
     const auto sit = sessions_.find(session_id);
     if (sit == sessions_.end()) return;
     ServerSession& s = *sit->second;
-    s.conn->send(std::move(payload));
+    if (s.tls != nullptr) {
+      s.tls->send_app_data(std::move(payload));
+    } else {
+      s.conn->send(std::move(payload));
+    }
     s.busy = false;
     pump_session(s);
   };
@@ -676,14 +786,26 @@ std::vector<const cluster::Endpoint*> Sidecar::eligible_endpoints(
 }
 
 HttpClientPool& Sidecar::pool_for(const cluster::Endpoint& endpoint,
-                                  TrafficClass traffic_class,
-                                  net::Port port) {
-  const PoolKey key{endpoint.ip, port, traffic_class};
+                                  TrafficClass traffic_class, net::Port port,
+                                  bool mtls) {
+  // mTLS is part of the pool key: toggling a cluster's mtls flag mid-run
+  // routes new requests through a fresh pool with the right framing
+  // while the old one drains.
+  const PoolKey key{endpoint.ip, port, traffic_class, mtls};
   const auto it = pools_.find(key);
   if (it != pools_.end()) return *it->second;
   HttpClientPool::Options options;
   options.connection = connection_options_for(traffic_class);
   options.max_connections = config_.max_pool_connections;
+  if (mtls) {
+    options.tls.enabled = true;
+    // Stable addresses into the running config: apply_config move-assigns
+    // config_ in place, so rotation pushes reach the next handshake
+    // without rewiring the pool.
+    options.tls.params = &config_.tls;
+    options.tls.local_cert = &config_.identity_cert;
+    options.tls.runtime = &tls_runtime();
+  }
   if (config_.upstream_connection_hook) {
     options.on_connection_created =
         [this, traffic_class](transport::Connection& conn) {
@@ -881,7 +1003,7 @@ void Sidecar::attempt_upstream(std::uint64_t session_id, Ctx ctx) {
   // Host header tells the remote side which service was meant (the moral
   // equivalent of Istio's iptables redirect preserving metadata).
   HttpClientPool& pool =
-      pool_for(*chosen, ctx->traffic_class, config_.inbound_port);
+      pool_for(*chosen, ctx->traffic_class, config_.inbound_port, spec.mtls);
   ++active_per_endpoint_[chosen->pod_name];
   ++inflight_per_cluster_[spec.name];
   if (ctx->attempt > 0) ++inflight_retries_per_cluster_[spec.name];

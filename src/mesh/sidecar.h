@@ -38,6 +38,7 @@
 #include "mesh/http_client.h"
 #include "mesh/load_balancer.h"
 #include "mesh/telemetry.h"
+#include "mesh/tls_session.h"
 #include "sim/random.h"
 #include "mesh/tracing.h"
 #include "transport/transport_host.h"
@@ -81,20 +82,8 @@ struct RetryPolicy {
 sim::Duration next_retry_backoff(const RetryPolicy& policy, int attempt,
                                  sim::Duration prev, sim::RngStream& rng);
 
-/// A workload identity certificate (SPIFFE-flavoured). The simulation
-/// does not encrypt bytes, but identity issuance/rotation is modelled so
-/// policy has something real to hang off. Issued and rotated by the
-/// control plane; delivered to sidecars inside the config push.
-struct Certificate {
-  std::uint64_t serial = 0;
-  std::string spiffe_id;  ///< "spiffe://cluster.local/ns/default/sa/<svc>"
-  sim::Time issued_at = 0;
-  sim::Time expires_at = 0;
-
-  bool valid_at(sim::Time now) const noexcept {
-    return now >= issued_at && now < expires_at;
-  }
-};
+// Certificate lives in mesh/tls_session.h (the TLS layer consumes it
+// directly); it is re-exported here for the many existing includers.
 
 struct ClusterSpec {
   std::string name;
@@ -107,6 +96,9 @@ struct ClusterSpec {
   /// Active health checking for this cluster's endpoints (off by default;
   /// the chaos experiments turn it on).
   HealthCheckConfig health_check;
+  /// Initiate mTLS to this cluster's sidecars (compiled by the control
+  /// plane from the mesh-wide default + per-service overrides).
+  bool mtls = false;
 };
 
 /// Per-traffic-class transport policy — where the cross-layer design
@@ -132,6 +124,12 @@ struct SidecarConfig {
   /// This workload's identity certificate; rotation arrives as a config
   /// push with a new serial.
   Certificate identity_cert;
+
+  /// TLS session-layer knobs. `tls.enabled` here means "this sidecar's
+  /// inbound listener accepts TLS" (the listener stays permissive:
+  /// plaintext peers and health probes are sniffed through); whether a
+  /// *client* initiates TLS is per-cluster (ClusterSpec::mtls).
+  TlsParams tls;
 
   /// Host header -> cluster name. Hosts not listed route to the cluster
   /// with the same name, if one exists.
@@ -205,6 +203,10 @@ struct SidecarStats {
   /// overload (x-mesh-shed) and retry_on_overloaded is off.
   std::uint64_t retries_suppressed_by_overload = 0;
   std::uint64_t health_probes_answered = 0;
+  /// Downstream connections that closed while a request was in flight;
+  /// the abandoned request is finished as a local 499 so its span and
+  /// telemetry sample still close (the finish_outbound funnel).
+  std::uint64_t downstream_aborts = 0;
   std::uint64_t configs_applied = 0;
   std::uint64_t configs_rejected = 0;  ///< invalid or stale-epoch pushes
   std::uint64_t deltas_applied = 0;    ///< incremental pushes applied
@@ -282,6 +284,10 @@ class Sidecar {
     std::uint64_t id = 0;
     transport::Connection* conn = nullptr;
     std::unique_ptr<http::HttpParser> parser;
+    /// Set once the first downstream byte arrives: a TLS ClientHello
+    /// starts a server-side TLS channel, anything else stays plaintext.
+    bool sniffed = false;
+    std::shared_ptr<TlsChannel> tls;
     FilterDirection direction = FilterDirection::kInbound;
     std::deque<http::HttpRequest> pending;
     bool busy = false;
@@ -297,12 +303,17 @@ class Sidecar {
     // Bumped on every response; async timers and backoff wakeups captured
     // for an earlier request compare against it and stand down.
     std::uint64_t request_seq = 0;
+    // The in-flight request's context while busy, so a downstream close
+    // can still finish the request (and its span) through the
+    // finish_outbound funnel.
+    std::shared_ptr<RequestContext> active;
   };
 
   struct PoolKey {
     net::IpAddress ip;
     net::Port port;
     TrafficClass traffic_class;
+    bool tls;
     auto operator<=>(const PoolKey&) const = default;
   };
 
@@ -344,7 +355,17 @@ class Sidecar {
       const ClusterSpec& spec, const RequestContext& ctx,
       bool ignore_health = false);
   HttpClientPool& pool_for(const cluster::Endpoint& endpoint,
-                           TrafficClass traffic_class, net::Port port);
+                           TrafficClass traffic_class, net::Port port,
+                           bool mtls);
+  /// Feeds downstream bytes (decrypted when the session is TLS) into the
+  /// session's HTTP parser, aborting the connection on a parse error.
+  void feed_session_parser(ServerSession& session, std::string_view data);
+  /// Upgrades an inbound session to TLS (a ClientHello was sniffed).
+  void setup_server_tls(ServerSession& session);
+  /// Lazily created shared TLS state (ticket cache, tls_* series); only
+  /// meshes that actually enable mTLS ever create it, so legacy metric
+  /// snapshots stay byte-identical.
+  TlsRuntime& tls_runtime();
   LoadBalancer& balancer_for(const ClusterSpec& spec);
   transport::ConnectionOptions connection_options_for(
       TrafficClass traffic_class) const;
@@ -372,6 +393,7 @@ class Sidecar {
   std::map<std::string, std::uint64_t> inflight_per_cluster_;
   std::map<std::string, std::uint64_t> inflight_retries_per_cluster_;
   std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<TlsRuntime> tls_runtime_;
   sim::RngStream overhead_rng_;
   sim::RngStream retry_rng_;
   std::string last_config_error_;

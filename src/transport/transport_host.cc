@@ -1,6 +1,7 @@
 #include "transport/transport_host.h"
 
 #include <utility>
+#include <vector>
 
 #include "util/logging.h"
 
@@ -40,6 +41,17 @@ Connection& TransportHost::connect(net::SocketAddress remote,
 
 void TransportHost::send_packet(net::Packet packet) {
   network_.send(std::move(packet));
+}
+
+void TransportHost::reset_all_connections() {
+  // abort() re-enters on_connection_closed (which schedules erasure from
+  // connections_), so collect the targets before touching any of them.
+  std::vector<Connection*> live;
+  live.reserve(connections_.size());
+  for (auto& [flow, conn] : connections_) live.push_back(conn.get());
+  for (Connection* conn : live) {
+    if (conn->state() != ConnState::kClosed) conn->abort();
+  }
 }
 
 void TransportHost::on_connection_closed(Connection& connection) {

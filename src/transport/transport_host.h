@@ -64,6 +64,12 @@ class TransportHost {
     accept_mapper_ = std::move(mapper);
   }
 
+  /// Aborts every live connection on this host, as a process restart
+  /// would: all TCP state is lost and an RST notifies each peer. New
+  /// connections (and fresh TLS handshakes) must be established from
+  /// scratch afterwards.
+  void reset_all_connections();
+
   net::IpAddress ip() const noexcept { return ip_; }
   sim::Simulator& sim() noexcept { return sim_; }
   sim::Time now() const noexcept { return sim_.now(); }

@@ -225,6 +225,57 @@ PointMetrics cp_point_metrics(const CpChaosExperimentResult& result) {
   return metrics;
 }
 
+PointMetrics mtls_point_metrics(const MtlsExperimentResult& result) {
+  PointMetrics metrics;
+  const auto add_workload = [&metrics](const std::string& prefix,
+                                       const WorkloadSummary& summary) {
+    metrics.scalars[prefix + "_p50_ms"] = summary.p50_ms;
+    metrics.scalars[prefix + "_p90_ms"] = summary.p90_ms;
+    metrics.scalars[prefix + "_p99_ms"] = summary.p99_ms;
+    metrics.scalars[prefix + "_mean_ms"] = summary.mean_ms;
+    metrics.scalars[prefix + "_rps"] = summary.achieved_rps;
+    metrics.counters[prefix + "_completed"] = summary.completed;
+    metrics.counters[prefix + "_errors"] = summary.errors;
+  };
+  add_workload("ls", result.ls);
+  add_workload("li", result.li);
+  const auto add_phase = [&metrics](const std::string& prefix,
+                                    const PhaseSummary& phase) {
+    metrics.scalars[prefix + "_goodput_rps"] = phase.goodput_rps;
+    metrics.scalars[prefix + "_success_rate"] = phase.success_rate;
+    metrics.scalars[prefix + "_p50_ms"] = phase.p50_ms;
+    metrics.scalars[prefix + "_p99_ms"] = phase.p99_ms;
+    metrics.counters[prefix + "_scheduled"] = phase.scheduled;
+    metrics.counters[prefix + "_completed"] = phase.completed;
+    metrics.counters[prefix + "_errors"] = phase.errors;
+  };
+  add_phase("pre", result.pre);
+  add_phase("post", result.post);
+  metrics.scalars["bottleneck_utilization"] = result.bottleneck_utilization;
+  metrics.counters["bottleneck_drops"] = result.bottleneck_drops;
+  metrics.counters["tls_handshakes_full"] = result.handshakes_full;
+  metrics.counters["tls_handshakes_resumed"] = result.handshakes_resumed;
+  metrics.counters["tls_handshake_failures"] = result.handshake_failures;
+  metrics.counters["tls_tickets_issued"] = result.tickets_issued;
+  metrics.counters["tls_resumptions_rejected"] = result.resumptions_rejected;
+  metrics.counters["tls_session_cache_evictions"] =
+      result.session_cache_evictions;
+  metrics.counters["tls_records_encrypted"] = result.records_encrypted;
+  metrics.counters["tls_records_decrypted"] = result.records_decrypted;
+  metrics.counters["tls_bytes_encrypted"] = result.bytes_encrypted;
+  metrics.counters["tls_bytes_decrypted"] = result.bytes_decrypted;
+  metrics.counters["tls_alerts"] = result.tls_alerts;
+  metrics.counters["cert_rotations"] = result.cert_rotations;
+  metrics.counters["upstream_retries"] = result.upstream_retries;
+  metrics.counters["timeouts"] = result.timeouts;
+  metrics.counters["upstream_failures"] = result.upstream_failures;
+  metrics.counters["downstream_aborts"] = result.downstream_aborts;
+  metrics.counters["faults_executed"] = result.fault_log.size();
+  metrics.counters["events"] = result.events_executed;
+  metrics.snapshot = result.metrics;
+  return metrics;
+}
+
 PointMetrics parsim_point_metrics(const ParsimExperimentResult& result) {
   PointMetrics metrics;
   // Workload surface: invariant across shard AND thread counts (the

@@ -28,6 +28,7 @@
 #include "workload/cp_chaos_experiment.h"
 #include "workload/elibrary_experiment.h"
 #include "workload/meshscale_experiment.h"
+#include "workload/mtls_experiment.h"
 #include "workload/overload_experiment.h"
 #include "workload/parsim_experiment.h"
 #include "workload/sweep_runner.h"
@@ -86,6 +87,13 @@ PointMetrics overload_point_metrics(const OverloadExperimentResult& result);
 /// convergence scalars and the unified metrics snapshot. Shared by
 /// examples/cp_chaos_elibrary and the CpChaosDeterminism golden.
 PointMetrics cp_point_metrics(const CpChaosExperimentResult& result);
+
+/// The standard metric set for one MTLS experiment arm: per-workload
+/// latency scalars, the pre/post-storm phase split, the mesh-wide tls_*
+/// counter surface, bottleneck utilization and the unified metrics
+/// snapshot. Shared by bench/bench_mtls and the MtlsDeterminism golden
+/// so both compare the same surface.
+PointMetrics mtls_point_metrics(const MtlsExperimentResult& result);
 
 /// The standard metric set for one PARSIM run: workload scalars/counters
 /// (shard- and thread-invariant), the end-to-end latency histogram, the

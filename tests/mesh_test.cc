@@ -536,6 +536,58 @@ TEST_F(MeshFixture, DeadlineAbandonedRequestClosesSpanAsError) {
   EXPECT_TRUE(found);
 }
 
+TEST_F(MeshFixture, MtlsRequestSucceedsAndChargesCrypto) {
+  MeshPolicies policies;
+  policies.tls.enabled = true;
+  build(1, policies);
+  const auto response = get("server", "/secure");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 200);
+  // Exactly one client->server hop handshakes, full (no prior ticket),
+  // and both directions' app records pay AEAD.
+  const obs::Counter* full =
+      control_plane_->metrics().find_counter("tls_handshakes_full_total");
+  ASSERT_NE(full, nullptr);
+  EXPECT_EQ(full->value(), 1u);
+  const obs::Counter* enc =
+      control_plane_->metrics().find_counter("tls_records_encrypted_total");
+  ASSERT_NE(enc, nullptr);
+  EXPECT_GE(enc->value(), 2u);
+}
+
+TEST_F(MeshFixture, HandshakeFailureClosesClientSpanAsError) {
+  // Certs expire with rotation disabled, so every handshake attempt dies
+  // before a single HTTP byte flows. The regression this pins: a request
+  // that fails *during the handshake* must still open and close a client
+  // span — as an error, through the finish_outbound funnel — instead of
+  // leaking because no response parser ever ran.
+  MeshPolicies policies;
+  policies.tls.enabled = true;
+  policies.certificate_lifetime = sim::seconds(1);
+  policies.cp.cert_refresh_ahead = 0.0;  // no rotation: certs just lapse
+  policies.tls.handshake_timeout = sim::milliseconds(200);
+  build(1, policies);
+  sim_.run_until(sim::seconds(2));  // past every cert's expiry
+  const auto response = get("server", "/mtls");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->status, 503);
+  EXPECT_NE(response->body.find("tls handshake failed"), std::string::npos);
+  // The handshake actually failed (and was counted), and the client span
+  // was exported with an end time and the error flag.
+  const obs::Counter* failures = control_plane_->metrics().find_counter(
+      "tls_handshake_failures_total");
+  ASSERT_NE(failures, nullptr);
+  EXPECT_GE(failures->value(), 1u);
+  bool found = false;
+  for (const Span& span : control_plane_->tracer().spans()) {
+    if (span.service != "client") continue;
+    found = true;
+    EXPECT_GE(span.end, span.start);
+    EXPECT_TRUE(span.error);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST_F(MeshFixture, AccessLogCapturesProxiedRequests) {
   MeshPolicies policies;
   policies.access_log_sample_every = 1;  // keep everything

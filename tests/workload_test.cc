@@ -416,6 +416,67 @@ TEST(CpChaosDeterminism, OutageStormBitIdenticalAcrossThreadCounts) {
   }
 }
 
+// The MTLS experiment joins the determinism suite: a shortened
+// plaintext-vs-storm pair must be bit-identical — every scalar, counter,
+// histogram bucket and snapshot series — at any thread count. The storm
+// arm exercises the whole TLS surface: full handshakes, resumption,
+// connection resets and the shared per-sidecar crypto clock.
+
+SweepResult run_mtls_sweep(int threads) {
+  SweepOptions options;
+  options.threads = threads;
+  SweepRunner runner(options);
+  for (const bool mtls : {true, false}) {
+    runner.add({{"mtls", mtls ? "on" : "off"}}, [mtls] {
+      MtlsExperimentConfig config;
+      config.ls_rps = 15.0;
+      config.li_rps = 5.0;
+      config.warmup = sim::seconds(1);
+      config.duration = sim::seconds(10);
+      config.cooldown = sim::seconds(1);
+      config.mtls = mtls;
+      config.storm = mtls;  // plaintext control stays calm
+      config.storm_offset = sim::seconds(5);
+      config.seed = 42;
+      return mtls_point_metrics(run_mtls_experiment(config));
+    });
+  }
+  return runner.run();
+}
+
+TEST(MtlsDeterminism, HandshakeStormBitIdenticalAcrossThreadCounts) {
+  const SweepResult serial = run_mtls_sweep(1);
+  ASSERT_EQ(serial.points.size(), 2u);
+  // The mTLS arm actually exercises the subsystem under test: traffic
+  // completes, handshakes happen (full at startup, resumed after the
+  // storm's reconnect wave), tickets flow, and the tls_* series reach
+  // the unified snapshot.
+  const PointMetrics& mtls = serial.points[0].metrics;
+  EXPECT_GT(mtls.counters.at("ls_completed"), 0u);
+  EXPECT_GT(mtls.counters.at("tls_handshakes_full"), 0u);
+  EXPECT_GT(mtls.counters.at("tls_handshakes_resumed"), 0u);
+  EXPECT_GT(mtls.counters.at("tls_tickets_issued"), 0u);
+  EXPECT_GT(mtls.counters.at("tls_records_encrypted"), 0u);
+  EXPECT_GT(mtls.counters.at("faults_executed"), 0u);
+  ASSERT_FALSE(mtls.snapshot.empty());
+  const obs::SeriesSnapshot* full =
+      mtls.snapshot.find("tls_handshakes_full_total");
+  ASSERT_NE(full, nullptr);
+  EXPECT_GT(full->counter, 0u);
+  // The plaintext control never touches the TLS layer.
+  const PointMetrics& plain = serial.points[1].metrics;
+  EXPECT_EQ(plain.counters.at("tls_handshakes_full"), 0u);
+  EXPECT_EQ(plain.counters.at("tls_records_encrypted"), 0u);
+  EXPECT_GT(plain.counters.at("ls_completed"), 0u);
+
+  for (const int threads : {4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const SweepResult parallel = run_mtls_sweep(threads);
+    EXPECT_EQ(parallel.threads_used, threads);
+    expect_identical_sweeps(serial, parallel);
+  }
+}
+
 TEST(SweepRunner, ResultsArriveInInputOrderAndReportIsStable) {
   SweepOptions options;
   options.threads = 4;
